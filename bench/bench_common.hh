@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: the
+ * standard campaign (disk-cached), repeat counts, and uniform headers.
+ *
+ * Each binary regenerates one table or figure of the paper; see
+ * DESIGN.md Section 4 for the full experiment index and EXPERIMENTS.md
+ * for recorded paper-vs-measured values.
+ */
+
+#ifndef ACDSE_BENCH_BENCH_COMMON_HH
+#define ACDSE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "trace/suites.hh"
+
+namespace acdse
+{
+namespace bench
+{
+
+/** The paper's canonical model parameters (Section 6.2). */
+constexpr std::size_t kPaperT = 512; //!< training sims per program
+constexpr std::size_t kPaperR = 32;  //!< responses from a new program
+
+/**
+ * Number of repeats with fresh random selections (paper: 20). Reduced
+ * by default so the full bench suite completes in minutes on one core;
+ * override with ACDSE_REPEATS.
+ */
+inline std::size_t
+repeats()
+{
+    if (const char *value = std::getenv("ACDSE_REPEATS");
+        value && *value) {
+        return std::strtoull(value, nullptr, 10);
+    }
+    return 3;
+}
+
+/** Training-simulation count, clamped to the campaign sample. */
+inline std::size_t
+clampT(const Campaign &campaign, std::size_t t = kPaperT)
+{
+    return std::min(t, campaign.configs().size() / 2 +
+                           campaign.configs().size() / 4);
+}
+
+/** The all-suites campaign, computed or loaded from the disk cache. */
+inline Campaign &
+standardCampaign()
+{
+    static Campaign campaign = Campaign::standard();
+    campaign.ensureComputed();
+    return campaign;
+}
+
+/** Print the uniform experiment banner. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s -- %s\n", experiment, description);
+    std::printf("(T=%zu, R=%zu, repeats=%zu, configs come from the "
+                "shared campaign cache)\n",
+                kPaperT, kPaperR, repeats());
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** Seed for repeat @p r (fixed base so every run is reproducible). */
+inline std::uint64_t
+repeatSeed(std::size_t r)
+{
+    return 0xbe9c'0000ULL + 7919ULL * r;
+}
+
+/** Program indices of one suite within the standard campaign. */
+inline std::vector<std::size_t>
+suiteIndices(const Campaign &campaign, Suite suite)
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t p = 0; p < campaign.programs().size(); ++p) {
+        if (profileByName(campaign.programs()[p]).suite == suite)
+            idx.push_back(p);
+    }
+    return idx;
+}
+
+} // namespace bench
+} // namespace acdse
+
+#endif // ACDSE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Reproduces Fig. 3: parameter-value frequency in the best/worst 1% of
+ * the space for energy. Expected shape (paper Section 3.4): low-energy
+ * configurations are narrow with few RF ports and small L2s; the
+ * high-energy percentile is wide with large L2s.
+ */
+
+#include "bench/bench_param_impact.hh"
+
+int
+main()
+{
+    acdse::bench::banner("Figure 3",
+                         "parameter impact on the energy extremes");
+    acdse::bench::runParamImpact(acdse::Metric::Energy, "Fig. 3");
+    std::printf(
+        "Checks vs paper: best-1%% is narrow (Fig. 3a) with few read "
+        "ports (3d)\nand small L2 (3e); worst-1%% is wide (3g) with "
+        "large L2 (3k).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Fig. 13: correlation and rmae of the program-specific
+ * predictor vs the architecture-centric predictor as the number of
+ * simulations of the new program varies (training data for the former,
+ * responses for the latter). This is the paper's headline comparison:
+ * at 32 simulations the architecture-centric model achieves ~7% error
+ * and 0.95 correlation on cycles, against 24% / 0.55 for the
+ * program-specific state of the art; parity needs roughly an order of
+ * magnitude more simulations.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/statistics.hh"
+#include "base/table.hh"
+#include "bench/bench_common.hh"
+#include "core/evaluation.hh"
+
+using namespace acdse;
+
+int
+main()
+{
+    bench::banner("Figure 13", "architecture-centric vs "
+                               "program-specific at equal budgets");
+    Campaign &campaign = bench::standardCampaign();
+    Evaluator evaluator(campaign);
+    const auto spec = bench::suiteIndices(campaign, Suite::SpecCpu2000);
+    const std::size_t t = bench::clampT(campaign);
+
+    const std::vector<std::size_t> budgets{4,  8,   16,  32,
+                                           64, 128, 256, 512};
+    for (Metric metric : kAllMetrics) {
+        Table table({"sims", "PS rmae (%)", "PS corr", "AC rmae (%)",
+                     "AC corr"});
+        for (std::size_t budget : budgets) {
+            if (budget > campaign.configs().size() - 32)
+                continue;
+            stats::RunningStats ps_err, ps_corr, ac_err, ac_corr;
+            for (std::size_t r = 0; r < bench::repeats(); ++r) {
+                for (std::size_t p : spec) {
+                    const auto ps = evaluator.evaluateProgramSpecific(
+                        p, metric, budget, bench::repeatSeed(r));
+                    ps_err.add(ps.rmaePercent);
+                    ps_corr.add(ps.correlation);
+
+                    std::vector<std::size_t> training;
+                    for (std::size_t q : spec) {
+                        if (q != p)
+                            training.push_back(q);
+                    }
+                    const auto ac = evaluator.evaluateArchCentric(
+                        p, metric, training, t, budget,
+                        bench::repeatSeed(r));
+                    ac_err.add(ac.rmaePercent);
+                    ac_corr.add(ac.correlation);
+                }
+            }
+            table.addRow({Table::num(static_cast<long long>(budget)),
+                          Table::num(ps_err.mean(), 1),
+                          Table::num(ps_corr.mean(), 3),
+                          Table::num(ac_err.mean(), 1),
+                          Table::num(ac_corr.mean(), 3)});
+        }
+        std::printf("--- Fig. 13 (%s) ---\n", metricName(metric));
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf(
+        "Checks vs paper: at every small budget the architecture-"
+        "centric model\nhas lower error and far higher correlation; "
+        "the program-specific model\nonly catches up at hundreds of "
+        "simulations (Section 7.4).\n");
+    return 0;
+}

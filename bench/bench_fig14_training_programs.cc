@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Fig. 14: accuracy of the architecture-centric predictor
+ * as the number of offline training programs varies (random subsets,
+ * the remaining SPEC programs as test set). The paper finds a plateau
+ * by ~15 programs and usable accuracy (correlation > 0.85) from 5.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/rng.hh"
+#include "base/statistics.hh"
+#include "base/table.hh"
+#include "bench/bench_common.hh"
+#include "core/evaluation.hh"
+
+using namespace acdse;
+
+int
+main()
+{
+    bench::banner("Figure 14",
+                  "accuracy vs number of offline training programs");
+    Campaign &campaign = bench::standardCampaign();
+    Evaluator evaluator(campaign);
+    const auto spec = bench::suiteIndices(campaign, Suite::SpecCpu2000);
+    const std::size_t t = bench::clampT(campaign);
+
+    const std::vector<std::size_t> counts{2, 5, 10, 15, 20, 25};
+    for (Metric metric : kAllMetrics) {
+        Table table({"training programs", "rmae (%)", "rmae stddev",
+                     "correlation", "corr stddev"});
+        for (std::size_t count : counts) {
+            if (count >= spec.size())
+                continue;
+            stats::RunningStats err, corr;
+            for (std::size_t r = 0; r < bench::repeats(); ++r) {
+                // Random subset of training programs for this repeat.
+                Rng rng(bench::repeatSeed(r) ^ count);
+                std::vector<std::size_t> pool = spec;
+                rng.shuffle(pool);
+                const std::vector<std::size_t> training(
+                    pool.begin(),
+                    pool.begin() + static_cast<std::ptrdiff_t>(count));
+                // Test on the remaining SPEC programs.
+                for (std::size_t k = count; k < pool.size(); ++k) {
+                    const auto q = evaluator.evaluateArchCentric(
+                        pool[k], metric, training, t, bench::kPaperR,
+                        bench::repeatSeed(r));
+                    err.add(q.rmaePercent);
+                    corr.add(q.correlation);
+                }
+            }
+            table.addRow({Table::num(static_cast<long long>(count)),
+                          Table::num(err.mean(), 1),
+                          Table::num(err.stddev(), 1),
+                          Table::num(corr.mean(), 3),
+                          Table::num(corr.stddev(), 3)});
+        }
+        std::printf("--- Fig. 14 (%s) ---\n", metricName(metric));
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("Checks vs paper: correlation already > 0.85 with 5 "
+                "training programs\nand a plateau by ~15 "
+                "(Section 8).\n");
+    return 0;
+}

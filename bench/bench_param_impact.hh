@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared driver for the Fig. 2 / Fig. 3 parameter-impact benches: the
+ * frequency of each parameter value among the best/worst 1% of the
+ * sampled space, pooled over the SPEC CPU 2000 programs.
+ */
+
+#ifndef ACDSE_BENCH_BENCH_PARAM_IMPACT_HH
+#define ACDSE_BENCH_BENCH_PARAM_IMPACT_HH
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench/bench_common.hh"
+#include "core/characterisation.hh"
+
+namespace acdse
+{
+namespace bench
+{
+
+/** Print the best/worst-1% value-frequency tables for one metric. */
+inline void
+runParamImpact(Metric metric, const char *figure)
+{
+    Campaign &campaign = standardCampaign();
+    // Restrict to SPEC CPU 2000, as the paper does.
+    const auto freqs = extremeValueFrequencies(
+        campaign, metric, 0.01,
+        suiteIndices(campaign, Suite::SpecCpu2000));
+    std::printf("Frequency of each parameter value among the best and "
+                "worst 1%% of\nconfigurations per program, pooled over "
+                "SPEC CPU 2000 (%s).\n\n",
+                metricName(metric));
+
+    for (const auto &f : freqs) {
+        const ParamSpec &param = paramSpec(f.param);
+        std::printf("--- %s (%s) ---\n", param.name, figure);
+        Table table({"value", "best 1% freq", "worst 1% freq"});
+        for (std::size_t i = 0; i < f.values.size(); ++i) {
+            table.addRow({Table::num(static_cast<long long>(f.values[i])),
+                          Table::num(f.bestFreq[i], 3),
+                          Table::num(f.worstFreq[i], 3)});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+}
+
+} // namespace bench
+} // namespace acdse
+
+#endif // ACDSE_BENCH_BENCH_PARAM_IMPACT_HH

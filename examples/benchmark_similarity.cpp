@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Benchmark-suite analysis -- the paper's Section 4 / Section 8 use
+ * case: measure how similar programs' design spaces are, print the
+ * dendrogram, and pick a small representative training subset (the
+ * paper shows 5 programs already give correlation > 0.85).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench/bench_common.hh"
+#include "core/characterisation.hh"
+
+using namespace acdse;
+
+int
+main()
+{
+    const Metric metric = Metric::Ed;
+    Campaign &campaign = bench::standardCampaign();
+    const auto spec = bench::suiteIndices(campaign, Suite::SpecCpu2000);
+    std::vector<std::string> names;
+    for (std::size_t p : spec)
+        names.push_back(campaign.programs()[p]);
+
+    // Distance matrix + dendrogram over SPEC CPU 2000 (ED metric).
+    const auto dist = programDistanceMatrix(campaign, metric, spec);
+    const Dendrogram tree = hierarchicalCluster(dist);
+
+    std::printf("hierarchical clustering of SPEC CPU 2000 design "
+                "spaces (%s):\n\n",
+                metricName(metric));
+    std::cout << tree.render(names);
+
+    // Cut into 5 clusters and pick the most central member of each as
+    // a representative training subset.
+    const std::size_t k = 5;
+    const auto ids = tree.cut(k);
+    std::printf("\nrepresentative training subset (%zu clusters):\n", k);
+    Table table({"cluster", "members", "representative"});
+    for (std::size_t cluster = 0; cluster < k; ++cluster) {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (ids[i] == cluster)
+                members.push_back(i);
+        }
+        // Representative: smallest summed distance to cluster peers.
+        std::size_t best = members.front();
+        double best_sum = 1e300;
+        for (std::size_t i : members) {
+            double sum = 0.0;
+            for (std::size_t j : members)
+                sum += dist[i][j];
+            if (sum < best_sum) {
+                best_sum = sum;
+                best = i;
+            }
+        }
+        std::string member_list;
+        for (std::size_t i : members) {
+            if (!member_list.empty())
+                member_list += ' ';
+            member_list += names[i];
+        }
+        table.addRow({Table::num(static_cast<long long>(cluster)),
+                      member_list, names[best]});
+    }
+    table.print(std::cout);
+    std::printf("\nTraining the architecture-centric model on just "
+                "these %zu representatives\napproximates the full "
+                "26-program training set (paper Section 8 / Fig. 14;\n"
+                "see bench_fig14_training_programs for the sweep).\n",
+                k);
+    return 0;
+}

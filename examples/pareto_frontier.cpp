@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Performance/energy Pareto frontier for a new program -- the "sweet
+ * spot" identification the paper's introduction motivates.
+ *
+ * Two architecture-centric predictors (cycles and energy) are fitted
+ * from the same 32 responses of a new program; the predicted Pareto
+ * frontier over a large random sweep is then validated point by point
+ * with real simulations.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/design_space.hh"
+#include "base/table.hh"
+#include "bench/bench_common.hh"
+#include "core/evaluation.hh"
+#include "core/search.hh"
+#include "sim/simulator.hh"
+
+using namespace acdse;
+
+int
+main()
+{
+    const std::string new_program = "facerec";
+    Campaign &campaign = bench::standardCampaign();
+    Evaluator evaluator(campaign);
+    const std::size_t target = campaign.programIndex(new_program);
+
+    const auto spec = bench::suiteIndices(campaign, Suite::SpecCpu2000);
+    std::vector<std::size_t> training;
+    for (std::size_t p : spec) {
+        if (p != target)
+            training.push_back(p);
+    }
+
+    // One predictor per objective, sharing the same 32 responses.
+    const auto response_idx = sampleIndices(campaign.configs().size(),
+                                            bench::kPaperR, 7);
+    auto make = [&](Metric metric) {
+        ArchitectureCentricPredictor predictor =
+            evaluator.makeOfflinePredictor(training, metric,
+                                           bench::clampT(campaign),
+                                           bench::repeatSeed(0));
+        predictor.fitResponses(
+            campaign.configsAt(response_idx),
+            campaign.metricAt(target, metric, response_idx));
+        return predictor;
+    };
+    ArchitectureCentricPredictor cycles_model = make(Metric::Cycles);
+    ArchitectureCentricPredictor energy_model = make(Metric::Energy);
+
+    std::printf("predicting the cycles/energy Pareto frontier of '%s' "
+                "from %zu responses...\n\n",
+                new_program.c_str(), bench::kPaperR);
+    const auto frontier = predictedParetoFrontier(
+        [&](const MicroarchConfig &c) { return cycles_model.predict(c); },
+        [&](const MicroarchConfig &c) { return energy_model.predict(c); },
+        8000);
+
+    // Validate (up to) 10 evenly-spaced frontier points by simulation.
+    const Trace &trace = campaign.trace(target);
+    SimulationOptions sim_options;
+    sim_options.warmupInstructions =
+        campaign.options().warmupInstructions;
+
+    Table table({"pred cycles", "pred energy (uJ)", "sim cycles",
+                 "sim energy (uJ)", "width", "L2 KB"});
+    const std::size_t shown = std::min<std::size_t>(10, frontier.size());
+    for (std::size_t k = 0; k < shown; ++k) {
+        const MicroarchConfig &config =
+            frontier[k * (frontier.size() - 1) /
+                     std::max<std::size_t>(1, shown - 1)];
+        const SimulationResult real =
+            simulate(config, trace, sim_options);
+        table.addRow({Table::num(cycles_model.predict(config), 0),
+                      Table::num(energy_model.predict(config) / 1000.0,
+                                 1),
+                      Table::num(real.metrics.cycles, 0),
+                      Table::num(real.metrics.energyNj / 1000.0, 1),
+                      Table::num((long long)config.width()),
+                      Table::num((long long)config.get(Param::L2Size))});
+    }
+    table.print(std::cout);
+    std::printf("\nfrontier size: %zu of 8000 swept configurations\n",
+                frontier.size());
+    std::printf("Moving down the frontier trades performance for "
+                "energy: narrow, small-L2\nmachines populate the "
+                "low-energy end, wide large-window machines the\n"
+                "high-performance end (cf. paper Figs. 2 and 3).\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Umbrella header for the ACDSE library: architecture-centric
+ * microarchitectural design space exploration (Dubach, Jones, O'Boyle,
+ * MICRO-40 2007 / IEEE TC 2011).
+ *
+ * Typical usage (see examples/quickstart.cpp):
+ * @code
+ *   using namespace acdse;
+ *   Campaign campaign = Campaign::standard();      // simulations
+ *   Evaluator evaluator(campaign);                 // methodology
+ *   auto quality = evaluator.evaluateArchCentric(
+ *       campaign.programIndex("applu"), Metric::Cycles,
+ *       evaluator.leaveOneOut(campaign.programIndex("applu")),
+ *       512, 32, seed);
+ * @endcode
+ */
+
+#ifndef ACDSE_ACDSE_HH
+#define ACDSE_ACDSE_HH
+
+// Design space (Table 1 / Table 2).
+#include "arch/design_space.hh"
+#include "arch/microarch_config.hh"
+#include "arch/parameter.hh"
+
+// Synthetic workloads (SPEC CPU 2000 / MiBench substitutes).
+#include "trace/simpoint.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+// Cycle-level simulator and energy model.
+#include "sim/first_order.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+// Machine-learning substrate.
+#include "ml/hierarchical.hh"
+#include "ml/kmeans.hh"
+#include "ml/linear_regression.hh"
+#include "ml/mlp.hh"
+#include "ml/rbf.hh"
+#include "ml/spline.hh"
+
+// The paper's contribution and evaluation machinery.
+#include "core/architecture_centric_predictor.hh"
+#include "core/campaign.hh"
+#include "core/characterisation.hh"
+#include "core/evaluation.hh"
+#include "core/feature_based_predictor.hh"
+#include "core/program_specific_predictor.hh"
+#include "core/search.hh"
+
+#endif // ACDSE_ACDSE_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The 13 varied microarchitectural parameters of the paper's Table 1,
+ * plus the fixed parameters of Table 2.
+ *
+ * The raw cross product of the varied parameters gives ~63 billion
+ * configurations; DesignSpace filters those that "do not make
+ * architectural sense" (Section 3.1).
+ */
+
+#ifndef ACDSE_ARCH_PARAMETER_HH
+#define ACDSE_ARCH_PARAMETER_HH
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace acdse
+{
+
+/**
+ * Identifier of each varied parameter, in the order used by the paper's
+ * baseline encoding x = (4, 96, 32, 48, 96, 8, 4, 16, 4, 16, 32, 32, 2).
+ */
+enum class Param : std::size_t
+{
+    Width = 0,      //!< pipeline width (instructions/cycle)
+    RobSize,        //!< reorder-buffer entries
+    IqSize,         //!< issue-queue entries
+    LsqSize,        //!< load/store-queue entries
+    RfSize,         //!< physical register-file registers
+    RfReadPorts,    //!< register-file read ports
+    RfWritePorts,   //!< register-file write ports
+    BpredSize,      //!< gshare predictor entries, in K
+    BtbSize,        //!< branch-target-buffer entries, in K
+    MaxBranches,    //!< maximum unresolved branches in flight
+    Il1Size,        //!< L1 instruction cache, in KB
+    Dl1Size,        //!< L1 data cache, in KB
+    L2Size,         //!< unified L2 cache, in KB
+    NumParams,      //!< sentinel: number of varied parameters
+};
+
+/** Number of varied parameters (13). */
+constexpr std::size_t kNumParams =
+    static_cast<std::size_t>(Param::NumParams);
+
+/** Static description of one varied parameter (one row of Table 1). */
+struct ParamSpec
+{
+    Param id;                       //!< which parameter
+    const char *name;               //!< human-readable name
+    const char *unit;               //!< unit suffix for printing
+    std::span<const int> values;    //!< legal values, ascending
+    int baseline;                   //!< baseline configuration value
+
+    /** Number of legal values. */
+    std::size_t count() const { return values.size(); }
+    /** Smallest legal value. */
+    int min() const { return values.front(); }
+    /** Largest legal value. */
+    int max() const { return values.back(); }
+    /** Index of a value within the legal list; panics if absent. */
+    std::size_t indexOf(int value) const;
+    /** Whether the given value is legal for this parameter. */
+    bool contains(int value) const;
+};
+
+/** Table 1: the specs of all 13 varied parameters, in Param order. */
+const std::array<ParamSpec, kNumParams> &paramSpecs();
+
+/** Spec of a single parameter. */
+const ParamSpec &paramSpec(Param p);
+
+/** Short name of a parameter (e.g. "ROB"). */
+std::string paramName(Param p);
+
+/**
+ * Table 2a: parameters held constant across the whole design space.
+ * Values follow common SimpleScalar/Wattch practice for an aggressive
+ * out-of-order core of the paper's era.
+ */
+struct FixedParams
+{
+    int il1Assoc = 2;           //!< L1I associativity
+    int dl1Assoc = 4;           //!< L1D associativity
+    int l2Assoc = 8;            //!< L2 associativity
+    int l1LineBytes = 32;       //!< L1 line size
+    int l2LineBytes = 64;       //!< L2 line size
+    int memLatency = 200;       //!< main-memory latency (cycles)
+    int frontEndStages = 5;     //!< fetch-to-dispatch pipeline depth
+    int mispredictRedirect = 3; //!< extra redirect cycles on mispredict
+    int intAluLatency = 1;      //!< integer ALU latency
+    int intMulLatency = 3;      //!< integer multiplier latency
+    int fpAluLatency = 2;       //!< FP adder latency
+    int fpMulLatency = 4;       //!< FP multiplier latency
+    int fpDivLatency = 12;      //!< FP divider latency (unpipelined)
+    int archRegs = 32;          //!< architectural registers per file
+    double clockGhz = 2.0;      //!< nominal clock for energy accounting
+};
+
+/** The fixed-parameter set used by every simulation. */
+const FixedParams &fixedParams();
+
+/**
+ * Table 2b: functional-unit counts scale with the pipeline width. A
+ * 4-wide machine has 4 integer ALUs, 2 integer multipliers, 2 FP ALUs
+ * and 1 FP multiplier/divider.
+ */
+struct FunctionalUnitCounts
+{
+    int intAlu;     //!< integer ALUs
+    int intMul;     //!< integer multipliers
+    int fpAlu;      //!< floating-point adders
+    int fpMulDiv;   //!< floating-point multiplier/dividers
+};
+
+/** Functional-unit counts for a given pipeline width. */
+FunctionalUnitCounts functionalUnitsForWidth(int width);
+
+} // namespace acdse
+
+#endif // ACDSE_ARCH_PARAMETER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() for user errors (bad arguments,
+ * impossible configuration requests), panic() for internal invariant
+ * violations, warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef ACDSE_BASE_LOGGING_HH
+#define ACDSE_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace acdse
+{
+
+namespace detail
+{
+
+/** Concatenate a sequence of streamable values into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in this
+ * library itself, never for user errors.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/**
+ * Exit with an error code. Use for conditions caused by the caller
+ * (invalid configuration, missing file, ...).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Print a warning that does not stop execution. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** panic() unless the given condition holds. */
+#define ACDSE_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::acdse::panic("assertion '" #cond "' failed at ", __FILE__,    \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+} // namespace acdse
+
+#endif // ACDSE_BASE_LOGGING_HH

@@ -1,0 +1,144 @@
+#include "base/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+namespace stats
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double total = 0.0;
+    for (double x : xs)
+        total += (x - mu) * (x - mu);
+    return total / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+covariance(std::span<const double> xs, std::span<const double> ys)
+{
+    ACDSE_ASSERT(xs.size() == ys.size(), "covariance needs equal sizes");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        total += (xs[i] - mx) * (ys[i] - my);
+    return total / static_cast<double>(xs.size());
+}
+
+double
+correlation(std::span<const double> xs, std::span<const double> ys)
+{
+    const double sx = stddev(xs);
+    const double sy = stddev(ys);
+    if (sx == 0.0 || sy == 0.0)
+        return 0.0;
+    return covariance(xs, ys) / (sx * sy);
+}
+
+double
+rmae(std::span<const double> predictions, std::span<const double> actuals)
+{
+    ACDSE_ASSERT(predictions.size() == actuals.size(),
+                 "rmae needs equal sizes");
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < actuals.size(); ++i) {
+        if (actuals[i] == 0.0)
+            continue;
+        total += std::abs((predictions[i] - actuals[i]) / actuals[i]);
+        ++counted;
+    }
+    return counted ? 100.0 * total / static_cast<double>(counted) : 0.0;
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    ACDSE_ASSERT(!xs.empty(), "quantile of empty sample");
+    ACDSE_ASSERT(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+FiveNumberSummary
+fiveNumberSummary(std::span<const double> xs)
+{
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::span<const double> s{sorted};
+    return {sorted.front(), quantile(s, 0.25), quantile(s, 0.5),
+            quantile(s, 0.75), sorted.back()};
+}
+
+RunningStats::RunningStats()
+    : n(0), mu(0.0), m2(0.0),
+      lo(std::numeric_limits<double>::infinity()),
+      hi(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+euclideanDistance(std::span<const double> xs, std::span<const double> ys)
+{
+    ACDSE_ASSERT(xs.size() == ys.size(), "distance needs equal sizes");
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double d = xs[i] - ys[i];
+        total += d * d;
+    }
+    return std::sqrt(total);
+}
+
+} // namespace stats
+} // namespace acdse

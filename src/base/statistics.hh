@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation harness.
+ *
+ * The paper's two headline quality measures are implemented here:
+ * relative mean absolute error (rmae, Section 6.1) and the Pearson
+ * correlation coefficient.
+ */
+
+#ifndef ACDSE_BASE_STATISTICS_HH
+#define ACDSE_BASE_STATISTICS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acdse
+{
+namespace stats
+{
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Population variance; 0 for fewer than two elements. */
+double variance(std::span<const double> xs);
+
+/** Population standard deviation. */
+double stddev(std::span<const double> xs);
+
+/** Covariance of two equally-sized samples. */
+double covariance(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Pearson correlation coefficient in [-1, 1].
+ *
+ * Returns 0 when either sample is constant (no linear relation can be
+ * established), matching the paper's usage where corr = 0 means "no
+ * linear relation".
+ */
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Relative mean absolute error, in percent:
+ * mean(|pred - actual| / |actual|) * 100.
+ *
+ * Elements whose actual value is zero are skipped (cannot contribute a
+ * relative error).
+ */
+double rmae(std::span<const double> predictions,
+            std::span<const double> actuals);
+
+/**
+ * Linear-interpolated quantile of a sample, q in [0, 1].
+ * The input need not be sorted; a sorted copy is made internally.
+ */
+double quantile(std::span<const double> xs, double q);
+
+/** Convenience five-number summary used by the Fig. 4 reproduction. */
+struct FiveNumberSummary
+{
+    double min;      //!< smallest observation
+    double q25;      //!< lower quartile
+    double median;   //!< median
+    double q75;      //!< upper quartile
+    double max;      //!< largest observation
+};
+
+/** Compute the five-number summary of a sample. */
+FiveNumberSummary fiveNumberSummary(std::span<const double> xs);
+
+/**
+ * Single-pass accumulator for mean / variance (Welford) plus min/max.
+ * Used where materialising the full sample would be wasteful.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+    /** Mean of the observations so far (0 if empty). */
+    double mean() const { return n ? mu : 0.0; }
+    /** Population variance so far. */
+    double variance() const { return n > 1 ? m2 / n : 0.0; }
+    /** Population standard deviation so far. */
+    double stddev() const;
+    /** Smallest observation (+inf if empty). */
+    double min() const { return lo; }
+    /** Largest observation (-inf if empty). */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n;
+    double mu;
+    double m2;
+    double lo;
+    double hi;
+};
+
+/** Euclidean distance between two equally-sized vectors. */
+double euclideanDistance(std::span<const double> xs,
+                         std::span<const double> ys);
+
+} // namespace stats
+} // namespace acdse
+
+#endif // ACDSE_BASE_STATISTICS_HH

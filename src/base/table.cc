@@ -1,0 +1,69 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+
+Table::Table(std::vector<std::string> header) : header(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    ACDSE_ASSERT(row.size() == header.size(),
+                 "row width ", row.size(), " != header width ",
+                 header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::num(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    print_row(header);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+} // namespace acdse

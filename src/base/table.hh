@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned console table printer for the figure/table reproduction
+ * binaries. Each bench prints the rows/series of the corresponding
+ * paper table or figure through this helper so the output format is
+ * uniform across experiments.
+ */
+
+#ifndef ACDSE_BASE_TABLE_HH
+#define ACDSE_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acdse
+{
+
+/**
+ * Simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"program", "rmae (%)", "corr"});
+ *   t.addRow({"applu", Table::num(7.2), Table::num(0.95)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(long long value);
+
+    /** Render the table, column-aligned, to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_BASE_TABLE_HH

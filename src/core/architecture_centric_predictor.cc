@@ -1,0 +1,98 @@
+#include "core/architecture_centric_predictor.hh"
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+
+namespace acdse
+{
+
+ArchitectureCentricPredictor::ArchitectureCentricPredictor(
+    ArchCentricOptions options)
+    : options_(options)
+{
+}
+
+void
+ArchitectureCentricPredictor::trainOffline(
+    const std::vector<ProgramTrainingSet> &trainingSets)
+{
+    ACDSE_ASSERT(!trainingSets.empty(),
+                 "need at least one offline training program");
+    programNames_.clear();
+    programModels_.clear();
+    for (const auto &set : trainingSets) {
+        auto model = std::make_shared<ProgramSpecificPredictor>(
+            options_.programModel);
+        model->train(set.configs, set.values);
+        programNames_.push_back(set.name);
+        programModels_.push_back(std::move(model));
+    }
+    offlineTrained_ = true;
+    responsesFitted_ = false;
+}
+
+void
+ArchitectureCentricPredictor::useModels(
+    std::vector<std::string> names,
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models)
+{
+    ACDSE_ASSERT(!models.empty(), "need at least one program model");
+    ACDSE_ASSERT(names.size() == models.size(),
+                 "names/models size mismatch");
+    for (const auto &model : models)
+        ACDSE_ASSERT(model && model->trained(), "model not trained");
+    programNames_ = std::move(names);
+    programModels_ = std::move(models);
+    offlineTrained_ = true;
+    responsesFitted_ = false;
+}
+
+std::vector<double>
+ArchitectureCentricPredictor::features(const MicroarchConfig &config) const
+{
+    std::vector<double> f;
+    f.reserve(programModels_.size());
+    for (const auto &model : programModels_)
+        f.push_back(model->predict(config));
+    return f;
+}
+
+void
+ArchitectureCentricPredictor::fitResponses(
+    const std::vector<MicroarchConfig> &configs,
+    const std::vector<double> &values)
+{
+    ACDSE_ASSERT(offlineTrained_, "fitResponses before trainOffline");
+    ACDSE_ASSERT(configs.size() == values.size(),
+                 "configs/values size mismatch");
+    ACDSE_ASSERT(!configs.empty(), "need at least one response");
+
+    std::vector<std::vector<double>> xs;
+    xs.reserve(configs.size());
+    for (const auto &config : configs)
+        xs.push_back(features(config));
+    regressor_.fit(xs, values, options_.ridge, options_.intercept);
+    responsesFitted_ = true;
+
+    std::vector<double> fitted;
+    fitted.reserve(xs.size());
+    for (const auto &x : xs)
+        fitted.push_back(regressor_.predict(x));
+    trainingError_ = stats::rmae(fitted, values);
+}
+
+double
+ArchitectureCentricPredictor::predict(const MicroarchConfig &config) const
+{
+    ACDSE_ASSERT(ready(), "predict before training/responses");
+    return regressor_.predict(features(config));
+}
+
+const std::vector<double> &
+ArchitectureCentricPredictor::weights() const
+{
+    ACDSE_ASSERT(responsesFitted_, "weights before fitResponses");
+    return regressor_.weights();
+}
+
+} // namespace acdse

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The paper's contribution: the architecture-centric predictor
+ * (Section 5, Fig. 6).
+ *
+ * Offline, one program-specific ANN is trained per training program
+ * (T = 512 simulations each). To predict a *new* program, only R = 32
+ * simulations of it ("responses") are needed: a linear regressor is
+ * fitted so that a weighted combination of the trained ANNs' outputs
+ * matches the responses, and that combination then predicts the whole
+ * 13-parameter design space for the new program.
+ */
+
+#ifndef ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH
+#define ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "core/program_specific_predictor.hh"
+#include "ml/linear_regression.hh"
+
+namespace acdse
+{
+
+/** Options for the architecture-centric model. */
+struct ArchCentricOptions
+{
+    ProgramSpecificOptions programModel; //!< per-program ANN settings
+    /**
+     * Relative ridge strength for the response regression. With ~25
+     * highly-correlated ANN features and only 32 responses, the paper's
+     * plain normal equations (5) are badly conditioned and overfit the
+     * responses; shrinking the weights markedly improves generalisation
+     * (on our substrate: cycles rmae 12.6% -> 6.0% and correlation
+     * 0.76 -> 0.94 at lambda = 2e-2 -- see bench_ablation for the
+     * sweep). Set to 0 for the paper's exact ordinary least squares.
+     */
+    double ridge = 2e-2;
+    /** Fit the regressor's intercept beta_0. */
+    bool intercept = true;
+};
+
+/** Training data for one offline training program. */
+struct ProgramTrainingSet
+{
+    std::string name;                       //!< program name
+    std::vector<MicroarchConfig> configs;   //!< its T simulated configs
+    std::vector<double> values;             //!< measured metric values
+};
+
+/** The architecture-centric predictor for one target metric. */
+class ArchitectureCentricPredictor
+{
+  public:
+    /** Construct with hyper-parameters. */
+    explicit ArchitectureCentricPredictor(ArchCentricOptions options = {});
+
+    /**
+     * Offline phase: train one program-specific ANN per training
+     * program. Expensive, but done once, before any new program is
+     * seen.
+     */
+    void trainOffline(const std::vector<ProgramTrainingSet> &trainingSets);
+
+    /**
+     * Alternative offline phase: adopt already-trained program models
+     * (shared, e.g. from an evaluation cache -- in leave-one-out cross
+     * validation the same per-program ANN appears in many folds).
+     */
+    void useModels(
+        std::vector<std::string> names,
+        std::vector<std::shared_ptr<const ProgramSpecificPredictor>>
+            models);
+
+    /**
+     * Online phase: fit the linear combination from R responses of the
+     * new program. Cheap; call again for each new program.
+     */
+    void fitResponses(const std::vector<MicroarchConfig> &configs,
+                      const std::vector<double> &values);
+
+    /** Predict the metric of the new program at any configuration. */
+    double predict(const MicroarchConfig &config) const;
+
+    /**
+     * Error of the fit on its own responses (the "training error" of
+     * Figs. 11/12, which the paper shows is a usable proxy for the
+     * testing error and so flags programs with unique behaviour).
+     */
+    double trainingErrorPercent() const { return trainingError_; }
+
+    /** Names of the offline training programs. */
+    const std::vector<std::string> &trainingPrograms() const
+    {
+        return programNames_;
+    }
+
+    /** The fitted combination weights (one per training program). */
+    const std::vector<double> &weights() const;
+
+    /** Whether both phases have completed. */
+    bool ready() const { return offlineTrained_ && responsesFitted_; }
+
+    /** Whether the offline phase has completed. */
+    bool offlineTrained() const { return offlineTrained_; }
+
+  private:
+    /** ANN outputs at one configuration (the regressor's features). */
+    std::vector<double> features(const MicroarchConfig &config) const;
+
+    ArchCentricOptions options_;
+    std::vector<std::string> programNames_;
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>>
+        programModels_;
+    LinearRegression regressor_;
+    double trainingError_ = 0.0;
+    bool offlineTrained_ = false;
+    bool responsesFitted_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH

@@ -1,0 +1,315 @@
+#include "core/campaign.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "arch/design_space.hh"
+#include "base/csv.hh"
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace acdse
+{
+
+namespace
+{
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        fatal("environment variable ", name, " is not a number: '",
+              value, "'");
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+CampaignOptions
+CampaignOptions::fromEnvironment()
+{
+    CampaignOptions options;
+    options.numConfigs = envSize("ACDSE_CONFIGS", options.numConfigs);
+    options.traceLength =
+        envSize("ACDSE_TRACE_LEN", options.traceLength);
+    options.warmupInstructions =
+        envSize("ACDSE_WARMUP", options.warmupInstructions);
+    options.threads = envSize("ACDSE_THREADS", options.threads);
+    if (const char *dir = std::getenv("ACDSE_CACHE_DIR"); dir && *dir)
+        options.cacheDir = dir;
+    return options;
+}
+
+Campaign::Campaign(std::vector<std::string> programs,
+                   CampaignOptions options)
+    : options_(options), programs_(std::move(programs))
+{
+    ACDSE_ASSERT(!programs_.empty(), "campaign needs programs");
+    for (const auto &name : programs_)
+        profileByName(name); // validates the name
+    configs_ = DesignSpace::sampleValidConfigs(options_.numConfigs,
+                                               options_.configSeed);
+    results_.resize(programs_.size() * configs_.size());
+    computed_.assign(results_.size(), false);
+    traces_.resize(programs_.size());
+}
+
+Campaign
+Campaign::standard()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : allProfiles())
+        names.push_back(profile.name);
+    return Campaign(std::move(names), CampaignOptions::fromEnvironment());
+}
+
+std::size_t
+Campaign::programIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+        if (programs_[i] == name)
+            return i;
+    }
+    panic("program '", name, "' is not part of this campaign");
+}
+
+const Trace &
+Campaign::trace(std::size_t programIdx)
+{
+    ACDSE_ASSERT(programIdx < programs_.size(), "bad program index");
+    auto &slot = traces_[programIdx];
+    if (!slot) {
+        TraceGenerator generator(profileByName(programs_[programIdx]));
+        slot = std::make_unique<Trace>(generator.generate(
+            options_.traceLength + options_.warmupInstructions));
+    }
+    return *slot;
+}
+
+std::string
+Campaign::cachePath() const
+{
+    std::ostringstream os;
+    // The version tag invalidates caches across simulator-model
+    // changes; bump it whenever simulation results change.
+    os << options_.cacheDir << "/acdse_campaign_v2_c"
+       << options_.numConfigs << "_t" << options_.traceLength << "_w"
+       << options_.warmupInstructions << "_s" << std::hex
+       << options_.configSeed << ".csv";
+    return os.str();
+}
+
+bool
+Campaign::loadCache()
+{
+    CsvFile file;
+    if (!readCsv(cachePath(), file))
+        return false;
+    if (file.header !=
+        std::vector<std::string>{"program", "config", "cycles",
+                                 "energy_nj"}) {
+        warn("ignoring campaign cache with unexpected header");
+        return false;
+    }
+
+    // Index configurations by key for O(1) row placement.
+    std::unordered_map<std::string, std::size_t> config_index;
+    for (std::size_t c = 0; c < configs_.size(); ++c)
+        config_index.emplace(configs_[c].key(), c);
+    std::unordered_map<std::string, std::size_t> program_index;
+    for (std::size_t p = 0; p < programs_.size(); ++p)
+        program_index.emplace(programs_[p], p);
+
+    std::size_t loaded = 0;
+    for (const auto &row : file.rows) {
+        auto pit = program_index.find(row[0]);
+        auto cit = config_index.find(row[1]);
+        if (pit == program_index.end() || cit == config_index.end())
+            continue;
+        const double cycles = std::strtod(row[2].c_str(), nullptr);
+        const double energy = std::strtod(row[3].c_str(), nullptr);
+        if (cycles <= 0.0 || energy <= 0.0)
+            continue;
+        const std::size_t cell =
+            pit->second * configs_.size() + cit->second;
+        results_[cell] = Metrics::fromCyclesEnergy(cycles, energy);
+        computed_[cell] = true;
+        ++loaded;
+    }
+    if (!options_.quiet && loaded) {
+        inform("campaign cache: loaded ", loaded, " of ",
+               results_.size(), " simulations from ", cachePath());
+    }
+    return loaded == results_.size();
+}
+
+void
+Campaign::saveCache() const
+{
+    CsvFile file;
+    file.header = {"program", "config", "cycles", "energy_nj"};
+
+    // Merge with any existing cache so that a campaign over a subset
+    // of programs never drops other programs' rows from the shared
+    // file.
+    CsvFile existing;
+    if (readCsv(cachePath(), existing) &&
+        existing.header == file.header) {
+        std::unordered_set<std::string> ours;
+        for (const auto &name : programs_)
+            ours.insert(name);
+        for (auto &row : existing.rows) {
+            if (!ours.count(row[0]))
+                file.rows.push_back(std::move(row));
+        }
+    }
+
+    char buf[64];
+    for (std::size_t p = 0; p < programs_.size(); ++p) {
+        for (std::size_t c = 0; c < configs_.size(); ++c) {
+            const std::size_t cell = p * configs_.size() + c;
+            if (!computed_[cell])
+                continue;
+            std::vector<std::string> row;
+            row.push_back(programs_[p]);
+            row.push_back(configs_[c].key());
+            std::snprintf(buf, sizeof(buf), "%.17g",
+                          results_[cell].cycles);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.17g",
+                          results_[cell].energyNj);
+            row.push_back(buf);
+            file.rows.push_back(std::move(row));
+        }
+    }
+    writeCsv(cachePath(), file);
+}
+
+void
+Campaign::ensureComputed()
+{
+    if (allComputed_)
+        return;
+    if (loadCache()) {
+        allComputed_ = true;
+        return;
+    }
+
+    // Collect pending work.
+    std::vector<std::size_t> pending;
+    for (std::size_t cell = 0; cell < results_.size(); ++cell) {
+        if (!computed_[cell])
+            pending.push_back(cell);
+    }
+    if (pending.empty()) {
+        allComputed_ = true;
+        return;
+    }
+    if (!options_.quiet) {
+        inform("campaign: simulating ", pending.size(), " of ",
+               results_.size(), " (programs=", programs_.size(),
+               ", configs=", configs_.size(), ")");
+    }
+
+    // Pre-generate traces serially (cheap) so workers share them.
+    for (std::size_t p = 0; p < programs_.size(); ++p)
+        trace(p);
+
+    std::size_t workers = options_.threads
+                              ? options_.threads
+                              : std::thread::hardware_concurrency();
+    workers = std::max<std::size_t>(1, std::min(workers, pending.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    auto work = [&]() {
+        SimulationOptions sim_options;
+        sim_options.warmupInstructions = options_.warmupInstructions;
+        for (;;) {
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= pending.size())
+                return;
+            const std::size_t cell = pending[slot];
+            const std::size_t p = cell / configs_.size();
+            const std::size_t c = cell % configs_.size();
+            const SimulationResult result =
+                simulate(configs_[c], *traces_[p], sim_options);
+            results_[cell] = result.metrics;
+            computed_[cell] = true;
+            const std::size_t completed = done.fetch_add(1) + 1;
+            if (!options_.quiet &&
+                completed % std::max<std::size_t>(
+                                1, pending.size() / 10) == 0) {
+                inform("campaign: ", completed, "/", pending.size(),
+                       " simulations done");
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w + 1 < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (auto &thread : pool)
+        thread.join();
+
+    saveCache();
+    allComputed_ = true;
+}
+
+const Metrics &
+Campaign::result(std::size_t programIdx, std::size_t configIdx) const
+{
+    ACDSE_ASSERT(programIdx < programs_.size(), "bad program index");
+    ACDSE_ASSERT(configIdx < configs_.size(), "bad config index");
+    const std::size_t cell = programIdx * configs_.size() + configIdx;
+    ACDSE_ASSERT(computed_[cell],
+                 "result accessed before ensureComputed()");
+    return results_[cell];
+}
+
+std::vector<double>
+Campaign::metricRow(std::size_t programIdx, Metric metric) const
+{
+    std::vector<double> row;
+    row.reserve(configs_.size());
+    for (std::size_t c = 0; c < configs_.size(); ++c)
+        row.push_back(result(programIdx, c).get(metric));
+    return row;
+}
+
+std::vector<double>
+Campaign::metricAt(std::size_t programIdx, Metric metric,
+                   const std::vector<std::size_t> &idx) const
+{
+    std::vector<double> values;
+    values.reserve(idx.size());
+    for (std::size_t c : idx)
+        values.push_back(result(programIdx, c).get(metric));
+    return values;
+}
+
+std::vector<MicroarchConfig>
+Campaign::configsAt(const std::vector<std::size_t> &idx) const
+{
+    std::vector<MicroarchConfig> subset;
+    subset.reserve(idx.size());
+    for (std::size_t c : idx) {
+        ACDSE_ASSERT(c < configs_.size(), "bad config index");
+        subset.push_back(configs_[c]);
+    }
+    return subset;
+}
+
+} // namespace acdse

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The simulation campaign: the paper's 3,000 uniformly-sampled
+ * configurations simulated for every benchmark (Section 3.3), here with
+ * a configurable sample count, multithreaded execution and a disk cache
+ * so every experiment binary reuses one set of simulations.
+ *
+ * Scaling knobs (environment variables, all optional):
+ *  - ACDSE_CONFIGS     sampled configurations   (default 800)
+ *  - ACDSE_TRACE_LEN   timed instructions       (default 16000)
+ *  - ACDSE_WARMUP      warm-up instructions     (default 4000)
+ *  - ACDSE_CACHE_DIR   cache file directory     (default ".")
+ *  - ACDSE_THREADS     worker threads           (default hw parallelism)
+ */
+
+#ifndef ACDSE_CORE_CAMPAIGN_HH
+#define ACDSE_CORE_CAMPAIGN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "sim/metrics.hh"
+#include "trace/trace.hh"
+
+namespace acdse
+{
+
+/** Campaign parameters. */
+struct CampaignOptions
+{
+    std::size_t numConfigs = 800;      //!< sampled configurations
+    std::size_t traceLength = 16000;   //!< timed instructions / program
+    std::size_t warmupInstructions = 4000; //!< untimed warm-up prefix
+    std::uint64_t configSeed = 0xac5e'0001; //!< sampling seed
+    std::string cacheDir = ".";        //!< where the cache file lives
+    std::size_t threads = 0;           //!< 0 = hardware concurrency
+    bool quiet = false;                //!< suppress progress messages
+
+    /** Defaults with any ACDSE_* environment overrides applied. */
+    static CampaignOptions fromEnvironment();
+};
+
+/**
+ * A (programs x configurations) matrix of simulated Metrics.
+ *
+ * Results are computed lazily on first access (all missing cells in one
+ * parallel batch) and persisted to a CSV cache keyed by the campaign
+ * parameters, so repeated bench/example runs cost seconds, not minutes.
+ */
+class Campaign
+{
+  public:
+    /**
+     * @param programs benchmark names (must exist in the suites).
+     * @param options  sampling/simulation parameters.
+     */
+    Campaign(std::vector<std::string> programs, CampaignOptions options);
+
+    /** Campaign over both full suites with environment options. */
+    static Campaign standard();
+
+    /** The sampled configurations (same for every program). */
+    const std::vector<MicroarchConfig> &configs() const
+    {
+        return configs_;
+    }
+
+    /** The benchmark names, in row order. */
+    const std::vector<std::string> &programs() const { return programs_; }
+
+    /** Index of a program by name; panics if absent. */
+    std::size_t programIndex(const std::string &name) const;
+
+    /** Simulate/load everything that is still missing. */
+    void ensureComputed();
+
+    /** Metrics of one (program, configuration) cell. */
+    const Metrics &result(std::size_t programIdx,
+                          std::size_t configIdx) const;
+
+    /** One metric across all configurations for one program. */
+    std::vector<double> metricRow(std::size_t programIdx,
+                                  Metric metric) const;
+
+    /**
+     * One metric for a subset of configurations (by index) -- used to
+     * assemble training sets and responses.
+     */
+    std::vector<double> metricAt(std::size_t programIdx, Metric metric,
+                                 const std::vector<std::size_t> &idx) const;
+
+    /** Configurations for a subset of indices. */
+    std::vector<MicroarchConfig> configsAt(
+        const std::vector<std::size_t> &idx) const;
+
+    /** The options this campaign runs with. */
+    const CampaignOptions &options() const { return options_; }
+
+    /** The generated trace for one program (cached). */
+    const Trace &trace(std::size_t programIdx);
+
+  private:
+    std::string cachePath() const;
+    bool loadCache();
+    void saveCache() const;
+
+    CampaignOptions options_;
+    std::vector<std::string> programs_;
+    std::vector<MicroarchConfig> configs_;
+    std::vector<Metrics> results_;      //!< row-major [program][config]
+    // Per-cell validity. Deliberately vector<char>, not vector<bool>:
+    // worker threads write distinct cells concurrently, and
+    // vector<bool> packs bits into shared words (a data race).
+    std::vector<char> computed_;
+    std::vector<std::unique_ptr<Trace>> traces_;
+    bool allComputed_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_CAMPAIGN_HH

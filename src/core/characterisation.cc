@@ -1,0 +1,175 @@
+#include "core/characterisation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "arch/design_space.hh"
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+
+namespace acdse
+{
+
+namespace
+{
+
+/** Default to all campaign programs when no subset is given. */
+std::vector<std::size_t>
+resolvePrograms(const Campaign &campaign,
+                const std::vector<std::size_t> &programIdx)
+{
+    if (!programIdx.empty())
+        return programIdx;
+    std::vector<std::size_t> all(campaign.programs().size());
+    for (std::size_t p = 0; p < all.size(); ++p)
+        all[p] = p;
+    return all;
+}
+
+} // namespace
+
+std::vector<ParamValueFrequency>
+extremeValueFrequencies(const Campaign &campaign, Metric metric,
+                        double fraction,
+                        const std::vector<std::size_t> &programIdx)
+{
+    const std::vector<std::size_t> programs =
+        resolvePrograms(campaign, programIdx);
+    ACDSE_ASSERT(fraction > 0.0 && fraction <= 0.5,
+                 "extreme fraction out of range");
+    const std::size_t num_configs = campaign.configs().size();
+    const std::size_t extreme = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(fraction * num_configs)));
+
+    std::vector<ParamValueFrequency> freqs;
+    for (const auto &spec : paramSpecs()) {
+        ParamValueFrequency f;
+        f.param = spec.id;
+        f.values.assign(spec.values.begin(), spec.values.end());
+        f.bestFreq.assign(spec.count(), 0.0);
+        f.worstFreq.assign(spec.count(), 0.0);
+        freqs.push_back(std::move(f));
+    }
+
+    std::size_t pooled = 0;
+    for (std::size_t p : programs) {
+        std::vector<double> row = campaign.metricRow(p, metric);
+        std::vector<std::size_t> order(num_configs);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return row[a] < row[b];
+                  });
+        auto tally = [&](std::size_t config_idx, bool best) {
+            const MicroarchConfig &config =
+                campaign.configs()[config_idx];
+            for (auto &f : freqs) {
+                const std::size_t slot =
+                    paramSpec(f.param).indexOf(config.get(f.param));
+                (best ? f.bestFreq : f.worstFreq)[slot] += 1.0;
+            }
+        };
+        for (std::size_t k = 0; k < extreme; ++k) {
+            tally(order[k], true);
+            tally(order[num_configs - 1 - k], false);
+        }
+        pooled += extreme;
+    }
+
+    for (auto &f : freqs) {
+        for (double &x : f.bestFreq)
+            x /= static_cast<double>(pooled);
+        for (double &x : f.worstFreq)
+            x /= static_cast<double>(pooled);
+    }
+    return freqs;
+}
+
+std::vector<Metrics>
+baselineMetrics(Campaign &campaign)
+{
+    SimulationOptions sim_options;
+    sim_options.warmupInstructions =
+        campaign.options().warmupInstructions;
+    std::vector<Metrics> baselines;
+    baselines.reserve(campaign.programs().size());
+    for (std::size_t p = 0; p < campaign.programs().size(); ++p) {
+        baselines.push_back(simulate(DesignSpace::baseline(),
+                                     campaign.trace(p), sim_options)
+                                .metrics);
+    }
+    return baselines;
+}
+
+std::vector<ProgramSpaceSummary>
+perProgramSummaries(Campaign &campaign, Metric metric,
+                    double phaseInstructions,
+                    const std::vector<std::size_t> &programIdx)
+{
+    campaign.ensureComputed();
+    const double timed =
+        static_cast<double>(campaign.options().traceLength);
+    const std::vector<Metrics> baselines = baselineMetrics(campaign);
+
+    std::vector<ProgramSpaceSummary> summaries;
+    for (std::size_t p : resolvePrograms(campaign, programIdx)) {
+        std::vector<double> row;
+        row.reserve(campaign.configs().size());
+        for (std::size_t c = 0; c < campaign.configs().size(); ++c) {
+            row.push_back(campaign.result(p, c)
+                              .scaledToInstructions(timed,
+                                                    phaseInstructions)
+                              .get(metric));
+        }
+        ProgramSpaceSummary s;
+        s.program = campaign.programs()[p];
+        s.range = stats::fiveNumberSummary(row);
+        s.baseline = baselines[p]
+                         .scaledToInstructions(timed, phaseInstructions)
+                         .get(metric);
+        summaries.push_back(std::move(s));
+    }
+    return summaries;
+}
+
+std::vector<std::vector<double>>
+programDistanceMatrix(Campaign &campaign, Metric metric,
+                      const std::vector<std::size_t> &programIdx)
+{
+    campaign.ensureComputed();
+    const std::vector<std::size_t> programs =
+        resolvePrograms(campaign, programIdx);
+    const std::size_t n = programs.size();
+    const std::vector<Metrics> baselines = baselineMetrics(campaign);
+
+    std::vector<std::vector<double>> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t p = programs[i];
+        rows[i] = campaign.metricRow(p, metric);
+        const double norm = baselines[p].get(metric);
+        ACDSE_ASSERT(norm > 0.0, "baseline metric must be positive");
+        for (double &x : rows[i])
+            x /= norm;
+    }
+
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = stats::euclideanDistance(rows[i], rows[j]);
+            dist[i][j] = dist[j][i] = d;
+        }
+    }
+    return dist;
+}
+
+Dendrogram
+programSimilarityDendrogram(Campaign &campaign, Metric metric,
+                            const std::vector<std::size_t> &programIdx)
+{
+    return hierarchicalCluster(
+        programDistanceMatrix(campaign, metric, programIdx));
+}
+
+} // namespace acdse

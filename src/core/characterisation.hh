@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Design-space characterisation helpers behind the paper's analysis
+ * figures: parameter impact on the extremes of the space (Figs. 2-3),
+ * per-program variation (Fig. 4) and program similarity (Fig. 5).
+ */
+
+#ifndef ACDSE_CORE_CHARACTERISATION_HH
+#define ACDSE_CORE_CHARACTERISATION_HH
+
+#include <vector>
+
+#include "base/statistics.hh"
+#include "core/campaign.hh"
+#include "ml/hierarchical.hh"
+
+namespace acdse
+{
+
+/**
+ * How often each value of one parameter appears among the extreme
+ * configurations of the space (Figs. 2 and 3).
+ */
+struct ParamValueFrequency
+{
+    Param param;                    //!< which parameter
+    std::vector<int> values;        //!< its legal values
+    std::vector<double> bestFreq;   //!< frequency in the best fraction
+    std::vector<double> worstFreq;  //!< frequency in the worst fraction
+};
+
+/**
+ * For every parameter, the frequency of each of its values among the
+ * best/worst @p fraction of sampled configurations, pooled over all
+ * campaign programs (the paper pools the per-benchmark extreme 1%).
+ * "Best" means the smallest metric value (fewer cycles / less energy).
+ */
+std::vector<ParamValueFrequency> extremeValueFrequencies(
+    const Campaign &campaign, Metric metric, double fraction = 0.01,
+    const std::vector<std::size_t> &programIdx = {});
+
+/** Per-program summary of the design space (Fig. 4). */
+struct ProgramSpaceSummary
+{
+    std::string program;            //!< benchmark name
+    stats::FiveNumberSummary range; //!< min/quartiles/max over configs
+    double baseline;                //!< value at the baseline config
+};
+
+/**
+ * Five-number summary of one metric per program, rescaled to a phase of
+ * @p phaseInstructions instructions as the paper does (Section 4.1),
+ * plus the baseline architecture's value (simulated on demand).
+ */
+std::vector<ProgramSpaceSummary> perProgramSummaries(
+    Campaign &campaign, Metric metric, double phaseInstructions = 10e6,
+    const std::vector<std::size_t> &programIdx = {});
+
+/**
+ * Pairwise euclidean distances between program design spaces over the
+ * sampled configurations, each program's row first normalised by its
+ * baseline-architecture value (Section 4.2, footnote 1).
+ */
+std::vector<std::vector<double>> programDistanceMatrix(
+    Campaign &campaign, Metric metric,
+    const std::vector<std::size_t> &programIdx = {});
+
+/** Fig. 5: average-linkage dendrogram over the distance matrix. */
+Dendrogram programSimilarityDendrogram(
+    Campaign &campaign, Metric metric,
+    const std::vector<std::size_t> &programIdx = {});
+
+/** The baseline-architecture metrics for each program (simulated). */
+std::vector<Metrics> baselineMetrics(Campaign &campaign);
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_CHARACTERISATION_HH

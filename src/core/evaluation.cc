@@ -1,0 +1,168 @@
+#include "core/evaluation.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace acdse
+{
+
+std::vector<std::size_t>
+sampleIndices(std::size_t limit, std::size_t count, std::uint64_t seed)
+{
+    ACDSE_ASSERT(count <= limit, "cannot sample ", count, " of ", limit);
+    std::vector<std::size_t> all(limit);
+    std::iota(all.begin(), all.end(), 0);
+    Rng rng(seed);
+    // Partial Fisher-Yates: shuffle only the prefix we keep.
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = i + rng.nextBounded(limit - i);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(count);
+    return all;
+}
+
+Evaluator::Evaluator(Campaign &campaign, ArchCentricOptions options)
+    : campaign_(campaign), options_(options)
+{
+    campaign_.ensureComputed();
+}
+
+std::shared_ptr<const ProgramSpecificPredictor>
+Evaluator::programModel(std::size_t programIdx, Metric metric,
+                        std::size_t t, std::uint64_t seed)
+{
+    const auto key = std::make_tuple(programIdx, metric, t, seed);
+    auto it = modelCache_.find(key);
+    if (it != modelCache_.end())
+        return it->second;
+
+    // Per-program training sets use a seed derived from (seed, program)
+    // so different programs see different configurations, as with
+    // independent random selection in the paper.
+    const std::uint64_t derived =
+        seed ^ (0x9e3779b97f4a7c15ULL * (programIdx + 1));
+    const auto idx =
+        sampleIndices(campaign_.configs().size(), t, derived);
+
+    auto opts = options_.programModel;
+    opts.mlp.seed = derived ^ 0xdecafbadULL;
+    auto model = std::make_shared<ProgramSpecificPredictor>(opts);
+    model->train(campaign_.configsAt(idx),
+                 campaign_.metricAt(programIdx, metric, idx));
+    modelCache_.emplace(key, model);
+    return model;
+}
+
+PredictionQuality
+Evaluator::evaluateProgramSpecific(std::size_t programIdx, Metric metric,
+                                   std::size_t numSims,
+                                   std::uint64_t seed)
+{
+    const std::size_t total = campaign_.configs().size();
+    const auto train_idx = sampleIndices(total, numSims, seed);
+    std::vector<char> is_train(total, 0);
+    for (std::size_t c : train_idx)
+        is_train[c] = 1;
+
+    auto opts = options_.programModel;
+    opts.mlp.seed = seed ^ 0xabcdef12ULL;
+    ProgramSpecificPredictor model(opts);
+    model.train(campaign_.configsAt(train_idx),
+                campaign_.metricAt(programIdx, metric, train_idx));
+
+    std::vector<std::size_t> test_idx;
+    test_idx.reserve(total - numSims);
+    for (std::size_t c = 0; c < total; ++c) {
+        if (!is_train[c])
+            test_idx.push_back(c);
+    }
+    PredictionQuality quality = scorePredictions(
+        campaign_, programIdx, metric, test_idx,
+        [&](const MicroarchConfig &config) {
+            return model.predict(config);
+        });
+
+    // Training error: the model scored on its own training points.
+    PredictionQuality train_quality = scorePredictions(
+        campaign_, programIdx, metric, train_idx,
+        [&](const MicroarchConfig &config) {
+            return model.predict(config);
+        });
+    quality.trainingErrorPercent = train_quality.rmaePercent;
+    return quality;
+}
+
+std::vector<std::size_t>
+Evaluator::leaveOneOut(std::size_t testProgramIdx,
+                       std::size_t poolSize) const
+{
+    const std::size_t limit =
+        poolSize ? poolSize : campaign_.programs().size();
+    std::vector<std::size_t> training;
+    for (std::size_t p = 0; p < limit; ++p) {
+        if (p != testProgramIdx)
+            training.push_back(p);
+    }
+    return training;
+}
+
+ArchitectureCentricPredictor
+Evaluator::makeOfflinePredictor(
+    const std::vector<std::size_t> &trainingPrograms, Metric metric,
+    std::size_t t, std::uint64_t seed)
+{
+    std::vector<std::string> names;
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models;
+    for (std::size_t p : trainingPrograms) {
+        names.push_back(campaign_.programs()[p]);
+        models.push_back(programModel(p, metric, t, seed));
+    }
+    ArchitectureCentricPredictor predictor(options_);
+    predictor.useModels(std::move(names), std::move(models));
+    return predictor;
+}
+
+PredictionQuality
+Evaluator::evaluateArchCentric(
+    std::size_t testProgramIdx, Metric metric,
+    const std::vector<std::size_t> &trainingPrograms, std::size_t t,
+    std::size_t r, std::uint64_t seed)
+{
+    for (std::size_t p : trainingPrograms) {
+        ACDSE_ASSERT(p != testProgramIdx,
+                     "test program must not be in the training set");
+    }
+    ArchitectureCentricPredictor predictor =
+        makeOfflinePredictor(trainingPrograms, metric, t, seed);
+
+    const std::size_t total = campaign_.configs().size();
+    const auto response_idx =
+        sampleIndices(total, r, seed ^ 0x5eed'0002ULL);
+    predictor.fitResponses(
+        campaign_.configsAt(response_idx),
+        campaign_.metricAt(testProgramIdx, metric, response_idx));
+
+    std::vector<char> is_response(total, 0);
+    for (std::size_t c : response_idx)
+        is_response[c] = 1;
+    std::vector<std::size_t> test_idx;
+    test_idx.reserve(total - r);
+    for (std::size_t c = 0; c < total; ++c) {
+        if (!is_response[c])
+            test_idx.push_back(c);
+    }
+
+    PredictionQuality quality = scorePredictions(
+        campaign_, testProgramIdx, metric, test_idx,
+        [&](const MicroarchConfig &config) {
+            return predictor.predict(config);
+        });
+    quality.trainingErrorPercent = predictor.trainingErrorPercent();
+    return quality;
+}
+
+} // namespace acdse

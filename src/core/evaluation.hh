@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Evaluation harness implementing the paper's methodology (Sections 6
+ * and 7): N-fold / leave-one-out cross validation over the sampled
+ * design space, scored with rmae and the correlation coefficient.
+ */
+
+#ifndef ACDSE_CORE_EVALUATION_HH
+#define ACDSE_CORE_EVALUATION_HH
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "core/architecture_centric_predictor.hh"
+#include "core/campaign.hh"
+
+namespace acdse
+{
+
+/** Quality of one prediction experiment. */
+struct PredictionQuality
+{
+    double rmaePercent = 0.0;       //!< relative mean absolute error (%)
+    double correlation = 0.0;       //!< Pearson correlation coefficient
+    double trainingErrorPercent = 0.0; //!< error on the fit's own inputs
+};
+
+/** Draw @p count distinct indices from [0, limit) (order randomised). */
+std::vector<std::size_t> sampleIndices(std::size_t limit,
+                                       std::size_t count,
+                                       std::uint64_t seed);
+
+/**
+ * Runs the paper's experiments against a Campaign. Program-specific
+ * ANNs are cached per (program, metric, T, seed): leave-one-out folds
+ * share them, cutting evaluation cost by ~N x.
+ */
+class Evaluator
+{
+  public:
+    /** @param campaign a computed (or computable) campaign. */
+    explicit Evaluator(Campaign &campaign,
+                       ArchCentricOptions options = {});
+
+    /** The underlying campaign. */
+    Campaign &campaign() { return campaign_; }
+
+    /**
+     * Evaluate the program-specific baseline: train an ANN on
+     * @p numSims random configurations of the program, test on all
+     * remaining sampled configurations.
+     */
+    PredictionQuality evaluateProgramSpecific(std::size_t programIdx,
+                                              Metric metric,
+                                              std::size_t numSims,
+                                              std::uint64_t seed);
+
+    /**
+     * Evaluate the architecture-centric model: offline-train on
+     * @p trainingPrograms (T simulations each), draw R responses of the
+     * test program, and test on all configurations not used as
+     * responses. The test program must not be in the training set.
+     */
+    PredictionQuality evaluateArchCentric(
+        std::size_t testProgramIdx, Metric metric,
+        const std::vector<std::size_t> &trainingPrograms, std::size_t t,
+        std::size_t r, std::uint64_t seed);
+
+    /**
+     * Leave-one-out convenience: all campaign programs except the test
+     * program (optionally restricted to the first @p suiteSize programs,
+     * for SPEC-only training as in Section 7.3).
+     */
+    std::vector<std::size_t> leaveOneOut(std::size_t testProgramIdx,
+                                         std::size_t poolSize = 0) const;
+
+    /**
+     * Build an architecture-centric predictor (offline phase only) from
+     * cached models -- used by benches that then fit responses
+     * themselves (e.g. Fig. 1).
+     */
+    ArchitectureCentricPredictor makeOfflinePredictor(
+        const std::vector<std::size_t> &trainingPrograms, Metric metric,
+        std::size_t t, std::uint64_t seed);
+
+    /** A trained per-program ANN from the cache (training on miss). */
+    std::shared_ptr<const ProgramSpecificPredictor> programModel(
+        std::size_t programIdx, Metric metric, std::size_t t,
+        std::uint64_t seed);
+
+  private:
+    Campaign &campaign_;
+    ArchCentricOptions options_;
+    std::map<std::tuple<std::size_t, Metric, std::size_t, std::uint64_t>,
+             std::shared_ptr<const ProgramSpecificPredictor>>
+        modelCache_;
+};
+
+/** Score predictions of @p predict over configs @p idx of a program. */
+template <typename PredictFn>
+PredictionQuality
+scorePredictions(const Campaign &campaign, std::size_t programIdx,
+                 Metric metric, const std::vector<std::size_t> &idx,
+                 PredictFn &&predict)
+{
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    actual.reserve(idx.size());
+    predicted.reserve(idx.size());
+    for (std::size_t c : idx) {
+        actual.push_back(campaign.result(programIdx, c).get(metric));
+        predicted.push_back(predict(campaign.configs()[c]));
+    }
+    PredictionQuality quality;
+    quality.rmaePercent = stats::rmae(predicted, actual);
+    quality.correlation = stats::correlation(predicted, actual);
+    return quality;
+}
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_EVALUATION_HH

@@ -1,0 +1,118 @@
+#include "core/feature_based_predictor.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+
+std::vector<double>
+programFeatureVector(const Trace &trace)
+{
+    const TraceStats &s = trace.stats();
+    std::vector<double> f;
+    // Instruction mix.
+    for (std::size_t c = 0; c < kNumInstClasses; ++c)
+        f.push_back(s.classFraction[c]);
+    // Dependence / control structure.
+    f.push_back(s.meanDepDistance);
+    f.push_back(s.takenFraction);
+    // Footprints on a log scale (they span orders of magnitude).
+    f.push_back(std::log2(1.0 + static_cast<double>(s.distinctLines)));
+    f.push_back(std::log2(1.0 + static_cast<double>(s.distinctPcs)));
+    return f;
+}
+
+FeatureBasedPredictor::FeatureBasedPredictor(FeatureBasedOptions options)
+    : options_(options)
+{
+    ACDSE_ASSERT(options_.bandwidth > 0.0, "bandwidth must be positive");
+}
+
+void
+FeatureBasedPredictor::trainOffline(
+    const std::vector<FeatureTrainingSet> &sets)
+{
+    ACDSE_ASSERT(!sets.empty(), "need at least one training program");
+    names_.clear();
+    features_.clear();
+    models_.clear();
+    for (const auto &set : sets) {
+        ACDSE_ASSERT(!set.features.empty(), "missing program features");
+        auto model = std::make_shared<ProgramSpecificPredictor>(
+            options_.programModel);
+        model->train(set.configs, set.values);
+        names_.push_back(set.name);
+        features_.push_back(set.features);
+        models_.push_back(std::move(model));
+    }
+
+    // z-score normalisation of the feature space, fitted on the
+    // training programs.
+    const std::size_t dims = features_.front().size();
+    featureMean_.assign(dims, 0.0);
+    featureScale_.assign(dims, 1.0);
+    for (const auto &f : features_) {
+        ACDSE_ASSERT(f.size() == dims, "inconsistent feature widths");
+        for (std::size_t d = 0; d < dims; ++d)
+            featureMean_[d] += f[d];
+    }
+    for (double &m : featureMean_)
+        m /= static_cast<double>(features_.size());
+    std::vector<double> var(dims, 0.0);
+    for (const auto &f : features_) {
+        for (std::size_t d = 0; d < dims; ++d)
+            var[d] += (f[d] - featureMean_[d]) * (f[d] - featureMean_[d]);
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+        const double sd = std::sqrt(
+            var[d] / static_cast<double>(features_.size()));
+        featureScale_[d] = sd > 1e-9 ? sd : 1.0;
+    }
+    trained_ = true;
+    targeted_ = false;
+}
+
+void
+FeatureBasedPredictor::setTargetFeatures(
+    const std::vector<double> &features)
+{
+    ACDSE_ASSERT(trained_, "setTargetFeatures before trainOffline");
+    ACDSE_ASSERT(features.size() == featureMean_.size(),
+                 "feature width mismatch");
+
+    weights_.assign(models_.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t j = 0; j < models_.size(); ++j) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < features.size(); ++d) {
+            const double a =
+                (features[d] - featureMean_[d]) / featureScale_[d];
+            const double b = (features_[j][d] - featureMean_[d]) /
+                             featureScale_[d];
+            d2 += (a - b) * (a - b);
+        }
+        weights_[j] = std::exp(
+            -d2 / (2.0 * options_.bandwidth * options_.bandwidth));
+        total += weights_[j];
+    }
+    ACDSE_ASSERT(total > 0.0, "degenerate kernel weights");
+    for (double &w : weights_)
+        w /= total;
+    targeted_ = true;
+}
+
+double
+FeatureBasedPredictor::predict(const MicroarchConfig &config) const
+{
+    ACDSE_ASSERT(ready(), "predict before training/targeting");
+    double acc = 0.0;
+    for (std::size_t j = 0; j < models_.size(); ++j) {
+        if (weights_[j] > 1e-9)
+            acc += weights_[j] * models_[j]->predict(config);
+    }
+    return acc;
+}
+
+} // namespace acdse

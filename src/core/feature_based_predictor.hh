@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Feature-based trans-program predictor, in the style of Hoste et al.
+ * (PACT'06) -- the related approach the paper discusses in Section 9.5.
+ *
+ * Instead of fitting combination weights from responses (simulations
+ * of the new program), this model weights the trained program-specific
+ * ANNs by *similarity of microarchitecture-independent program
+ * features* (instruction mix, dependence distances, footprints,
+ * branch behaviour). It therefore needs ZERO simulations of the new
+ * program -- but, as the paper argues, features are a weaker signal
+ * than responses; bench_feature_based quantifies the gap.
+ */
+
+#ifndef ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH
+#define ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "core/program_specific_predictor.hh"
+#include "trace/trace.hh"
+
+namespace acdse
+{
+
+/**
+ * Microarchitecture-independent feature vector of a program, derived
+ * from its trace alone (no simulation).
+ */
+std::vector<double> programFeatureVector(const Trace &trace);
+
+/** Options for the feature-based predictor. */
+struct FeatureBasedOptions
+{
+    ProgramSpecificOptions programModel; //!< per-program ANN settings
+    /**
+     * Kernel bandwidth in (z-scored) feature space: smaller focuses on
+     * the nearest training program, larger blends more broadly.
+     */
+    double bandwidth = 1.0;
+};
+
+/** One training program: its name, models inputs and trace features. */
+struct FeatureTrainingSet
+{
+    std::string name;                      //!< program name
+    std::vector<MicroarchConfig> configs;  //!< simulated configs
+    std::vector<double> values;            //!< measured metric values
+    std::vector<double> features;          //!< programFeatureVector()
+};
+
+/** The feature-based (zero-response) trans-program predictor. */
+class FeatureBasedPredictor
+{
+  public:
+    /** Construct with hyper-parameters. */
+    explicit FeatureBasedPredictor(FeatureBasedOptions options = {});
+
+    /** Offline phase: train one ANN per training program. */
+    void trainOffline(const std::vector<FeatureTrainingSet> &sets);
+
+    /**
+     * Target a new program by its features only (no simulations):
+     * computes Gaussian-kernel weights over the training programs.
+     */
+    void setTargetFeatures(const std::vector<double> &features);
+
+    /** Predict the metric of the targeted program at a configuration. */
+    double predict(const MicroarchConfig &config) const;
+
+    /** The kernel weights over the training programs (sum to 1). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** Names of the training programs. */
+    const std::vector<std::string> &trainingPrograms() const
+    {
+        return names_;
+    }
+
+    /** Whether both phases completed. */
+    bool ready() const { return trained_ && targeted_; }
+
+  private:
+    FeatureBasedOptions options_;
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> features_;
+    std::vector<double> featureMean_;
+    std::vector<double> featureScale_;
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models_;
+    std::vector<double> weights_;
+    bool trained_ = false;
+    bool targeted_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH

@@ -1,0 +1,48 @@
+#include "core/program_specific_predictor.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+
+ProgramSpecificPredictor::ProgramSpecificPredictor(
+    ProgramSpecificOptions options)
+    : options_(options), mlp_(options.mlp)
+{
+}
+
+void
+ProgramSpecificPredictor::train(const std::vector<MicroarchConfig> &configs,
+                                const std::vector<double> &values)
+{
+    ACDSE_ASSERT(configs.size() == values.size(),
+                 "configs/values size mismatch");
+    ACDSE_ASSERT(!configs.empty(), "cannot train on no simulations");
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    xs.reserve(configs.size());
+    ys.reserve(values.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        xs.push_back(configs[i].asFeatureVector());
+        if (options_.logTarget) {
+            ACDSE_ASSERT(values[i] > 0.0,
+                         "log-target training needs positive metrics");
+            ys.push_back(std::log(values[i]));
+        } else {
+            ys.push_back(values[i]);
+        }
+    }
+    mlp_.train(xs, ys);
+}
+
+double
+ProgramSpecificPredictor::predict(const MicroarchConfig &config) const
+{
+    ACDSE_ASSERT(trained(), "predict before train");
+    const double raw = mlp_.predict(config.asFeatureVector());
+    return options_.logTarget ? std::exp(raw) : raw;
+}
+
+} // namespace acdse

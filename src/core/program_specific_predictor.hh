@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Program-specific performance predictor (Ipek et al., ASPLOS'06 --
+ * the paper's reference [7] and its main comparison point, Fig. 13).
+ *
+ * An artificial neural network maps the 13-parameter configuration
+ * vector to one target metric for one program. The architecture-centric
+ * model trains N of these offline (one per training program) and
+ * combines them; the standalone predictor is also evaluated on its own
+ * as the state-of-the-art baseline.
+ */
+
+#ifndef ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH
+#define ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH
+
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "ml/mlp.hh"
+
+namespace acdse
+{
+
+/** Options for a program-specific predictor. */
+struct ProgramSpecificOptions
+{
+    MlpOptions mlp;         //!< network hyper-parameters (paper: 10 hidden)
+    /**
+     * Learn log(metric) instead of the raw metric. Design-space metrics
+     * span orders of magnitude, and relative (rmae) error is what is
+     * evaluated, so a log target conditions the regression on exactly
+     * the quantity being scored. Disable to ablate.
+     */
+    bool logTarget = true;
+};
+
+/** One trained program-specific model for one (program, metric) pair. */
+class ProgramSpecificPredictor
+{
+  public:
+    /** Construct with hyper-parameters; train() does the work. */
+    explicit ProgramSpecificPredictor(ProgramSpecificOptions options = {});
+
+    /**
+     * Train on T simulated configurations of one program.
+     * @param configs the simulated design points.
+     * @param values  the measured metric at each point (all > 0).
+     */
+    void train(const std::vector<MicroarchConfig> &configs,
+               const std::vector<double> &values);
+
+    /** Predict the metric for an arbitrary configuration. */
+    double predict(const MicroarchConfig &config) const;
+
+    /** Whether train() has been called. */
+    bool trained() const { return mlp_.trained(); }
+
+  private:
+    ProgramSpecificOptions options_;
+    Mlp mlp_;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH

@@ -1,0 +1,137 @@
+#include "core/search.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "arch/design_space.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace acdse
+{
+
+std::vector<MicroarchConfig>
+validNeighbours(const MicroarchConfig &config)
+{
+    std::vector<MicroarchConfig> neighbours;
+    for (const auto &spec : paramSpecs()) {
+        const std::size_t idx = spec.indexOf(config.get(spec.id));
+        for (int direction : {-1, +1}) {
+            const std::ptrdiff_t next =
+                static_cast<std::ptrdiff_t>(idx) + direction;
+            if (next < 0 ||
+                next >= static_cast<std::ptrdiff_t>(spec.count())) {
+                continue;
+            }
+            MicroarchConfig candidate = config;
+            candidate.set(spec.id,
+                          spec.values[static_cast<std::size_t>(next)]);
+            if (DesignSpace::isValid(candidate))
+                neighbours.push_back(std::move(candidate));
+        }
+    }
+    return neighbours;
+}
+
+std::vector<ScoredConfig>
+findBestPredicted(const PredictorFn &predict,
+                  const SearchOptions &options)
+{
+    ACDSE_ASSERT(options.sweepSize > 0, "sweep must be non-empty");
+    ACDSE_ASSERT(options.keepTop > 0, "must keep at least one seed");
+
+    // Random sweep.
+    Rng rng(options.seed);
+    std::vector<ScoredConfig> sweep;
+    sweep.reserve(options.sweepSize);
+    std::unordered_set<std::string> seen;
+    while (sweep.size() < options.sweepSize) {
+        MicroarchConfig config = DesignSpace::sampleValid(rng);
+        if (!seen.insert(config.key()).second)
+            continue;
+        const double score = predict(config);
+        sweep.push_back({std::move(config), score});
+    }
+    std::sort(sweep.begin(), sweep.end(),
+              [](const ScoredConfig &a, const ScoredConfig &b) {
+                  return a.predicted < b.predicted;
+              });
+    sweep.resize(std::min(options.keepTop, sweep.size()));
+
+    // Greedy hill climbing from each seed.
+    std::vector<ScoredConfig> results;
+    for (auto &seed_point : sweep) {
+        ScoredConfig current = seed_point;
+        for (std::size_t step = 0; step < options.maxClimbSteps;
+             ++step) {
+            ScoredConfig best = current;
+            for (auto &neighbour : validNeighbours(current.config)) {
+                const double score = predict(neighbour);
+                if (score < best.predicted)
+                    best = {std::move(neighbour), score};
+            }
+            if (best.config == current.config)
+                break; // local optimum
+            current = std::move(best);
+        }
+        results.push_back(std::move(current));
+    }
+
+    // Deduplicate and sort best-first.
+    std::sort(results.begin(), results.end(),
+              [](const ScoredConfig &a, const ScoredConfig &b) {
+                  return a.predicted < b.predicted;
+              });
+    std::vector<ScoredConfig> unique;
+    std::unordered_set<std::string> keys;
+    for (auto &r : results) {
+        if (keys.insert(r.config.key()).second)
+            unique.push_back(std::move(r));
+    }
+    return unique;
+}
+
+std::vector<MicroarchConfig>
+predictedParetoFrontier(const PredictorFn &objectiveA,
+                        const PredictorFn &objectiveB,
+                        std::size_t sweepSize, std::uint64_t seed)
+{
+    ACDSE_ASSERT(sweepSize > 0, "sweep must be non-empty");
+    Rng rng(seed);
+
+    struct Point
+    {
+        MicroarchConfig config;
+        double a;
+        double b;
+    };
+    std::vector<Point> points;
+    points.reserve(sweepSize);
+    std::unordered_set<std::string> seen;
+    while (points.size() < sweepSize) {
+        MicroarchConfig config = DesignSpace::sampleValid(rng);
+        if (!seen.insert(config.key()).second)
+            continue;
+        const double a = objectiveA(config);
+        const double b = objectiveB(config);
+        points.push_back({std::move(config), a, b});
+    }
+
+    // Sort by objective A; sweep keeping strictly-improving B.
+    std::sort(points.begin(), points.end(),
+              [](const Point &x, const Point &y) {
+                  return x.a < y.a || (x.a == y.a && x.b < y.b);
+              });
+    std::vector<MicroarchConfig> frontier;
+    double best_b = std::numeric_limits<double>::infinity();
+    for (auto &point : points) {
+        if (point.b < best_b) {
+            best_b = point.b;
+            frontier.push_back(std::move(point.config));
+        }
+    }
+    return frontier;
+}
+
+} // namespace acdse

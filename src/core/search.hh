@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Predictor-guided design-space search -- what the paper's models are
+ * *for*: locating sweet spots in an 18-billion-point space without
+ * simulating it (Section 1: "the identification of sweet spots where
+ * performance and power are optimally balanced").
+ *
+ * Two search primitives over any predictor function:
+ *  - a random sweep + greedy hill climbing over single-parameter
+ *    neighbours, returning the best-predicted configurations;
+ *  - a predicted Pareto frontier over two metrics (e.g. cycles vs
+ *    energy).
+ */
+
+#ifndef ACDSE_CORE_SEARCH_HH
+#define ACDSE_CORE_SEARCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+
+namespace acdse
+{
+
+/** A scalar predictor over configurations (lower is better). */
+using PredictorFn = std::function<double(const MicroarchConfig &)>;
+
+/** Options for findBestPredicted(). */
+struct SearchOptions
+{
+    std::size_t sweepSize = 4096;   //!< random configurations scored
+    std::size_t keepTop = 16;       //!< seeds taken into hill climbing
+    std::size_t maxClimbSteps = 64; //!< per-seed greedy step budget
+    std::uint64_t seed = 0x5ea4c;   //!< sweep RNG seed
+};
+
+/** One scored design point. */
+struct ScoredConfig
+{
+    MicroarchConfig config;     //!< the design point
+    double predicted;           //!< the predictor's score
+};
+
+/**
+ * All single-parameter neighbours of a configuration (one step up or
+ * down each parameter's value list) that satisfy the validity rules.
+ */
+std::vector<MicroarchConfig> validNeighbours(
+    const MicroarchConfig &config);
+
+/**
+ * Find the configurations with the lowest predicted metric: random
+ * sweep, then greedy hill climbing from the best seeds. Returns the
+ * resulting points sorted by predicted value (best first, distinct).
+ */
+std::vector<ScoredConfig> findBestPredicted(
+    const PredictorFn &predict, const SearchOptions &options = {});
+
+/**
+ * Predicted Pareto frontier over two objectives (both minimised):
+ * sweeps random configurations and keeps the non-dominated set,
+ * sorted by the first objective.
+ */
+std::vector<MicroarchConfig> predictedParetoFrontier(
+    const PredictorFn &objectiveA, const PredictorFn &objectiveB,
+    std::size_t sweepSize = 4096, std::uint64_t seed = 0x9a7e70);
+
+} // namespace acdse
+
+#endif // ACDSE_CORE_SEARCH_HH

@@ -1,0 +1,106 @@
+#include "ml/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/statistics.hh"
+
+namespace acdse
+{
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        total += d * d;
+    }
+    return total;
+}
+
+} // namespace
+
+KmeansResult
+kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       std::uint64_t seed, int maxIters)
+{
+    ACDSE_ASSERT(!points.empty(), "kmeans on no points");
+    ACDSE_ASSERT(k > 0, "kmeans needs k > 0");
+    k = std::min(k, points.size());
+    const std::size_t n = points.size();
+    Rng rng(seed);
+
+    // k-means++ seeding.
+    KmeansResult result;
+    result.centroids.push_back(points[rng.nextBounded(n)]);
+    std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+    while (result.centroids.size() < k) {
+        double mass = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            min_sq[i] = std::min(
+                min_sq[i], sqDist(points[i], result.centroids.back()));
+            mass += min_sq[i];
+        }
+        // All remaining points coincide with chosen centroids
+        // (duplicate inputs): fall back to uniform selection.
+        const std::size_t pick = mass > 0.0 ? rng.nextDiscrete(min_sq)
+                                            : rng.nextBounded(n);
+        result.centroids.push_back(points[pick]);
+    }
+
+    result.assignment.assign(n, 0);
+    for (int iter = 0; iter < maxIters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], result.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (result.assignment[i] != best_c) {
+                result.assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+
+        // Recompute centroids; empty clusters keep their position.
+        const std::size_t dim = points.front().size();
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[result.assignment[i]][d] += points[i][d];
+            ++counts[result.assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (!counts[c])
+                continue;
+            for (std::size_t d = 0; d < dim; ++d) {
+                result.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia += sqDist(points[i],
+                                 result.centroids[result.assignment[i]]);
+    return result;
+}
+
+} // namespace acdse

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Lloyd's k-means with k-means++ seeding. Used by the SimPoint phase
+ * classifier (Sherwood et al., cited as [1] in the paper).
+ */
+
+#ifndef ACDSE_ML_KMEANS_HH
+#define ACDSE_ML_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acdse
+{
+
+/** Result of one k-means run. */
+struct KmeansResult
+{
+    std::vector<std::vector<double>> centroids; //!< k centroids
+    std::vector<std::size_t> assignment;        //!< per-point cluster id
+    double inertia = 0.0;   //!< sum of squared distances to centroids
+    int iterations = 0;     //!< Lloyd iterations until convergence
+};
+
+/**
+ * Cluster points into k groups.
+ *
+ * @param points   n points of equal dimension.
+ * @param k        number of clusters (clamped to n).
+ * @param seed     RNG seed for k-means++ initialisation.
+ * @param maxIters Lloyd iteration cap.
+ */
+KmeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, std::uint64_t seed = 1,
+                    int maxIters = 100);
+
+} // namespace acdse
+
+#endif // ACDSE_ML_KMEANS_HH

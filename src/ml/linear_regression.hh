@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ridge-regularised linear least squares (paper Section 5.3.1).
+ *
+ * The architecture-centric model is a linear combination of the
+ * program-specific model outputs whose weights minimise squared error
+ * on the responses; beta = (X^T X + lambda I)^-1 X^T y, with the
+ * lambda = 0 case being the paper's exact equation (5).
+ */
+
+#ifndef ACDSE_ML_LINEAR_REGRESSION_HH
+#define ACDSE_ML_LINEAR_REGRESSION_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace acdse
+{
+
+/** Linear model y = beta0 + sum_j beta_j x_j. */
+class LinearRegression
+{
+  public:
+    /**
+     * Fit on n samples of m features.
+     * @param xs       n rows of m features each.
+     * @param ys       n targets.
+     * @param ridge    Tikhonov strength relative to the mean diagonal of
+     *                 X^T X (0 = ordinary least squares). A tiny value
+     *                 keeps the solve well-posed when n is close to m.
+     * @param intercept whether to fit beta0.
+     */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys, double ridge = 1e-8,
+             bool intercept = true);
+
+    /** Predict one sample. */
+    double predict(const std::vector<double> &x) const;
+
+    /** The fitted weights (without intercept). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** The fitted intercept (0 if disabled). */
+    double intercept() const { return intercept_; }
+
+    /** Whether fit() succeeded. */
+    bool fitted() const { return fitted_; }
+
+  private:
+    std::vector<double> weights_;
+    double intercept_ = 0.0;
+    bool fitted_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_ML_LINEAR_REGRESSION_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal dense linear algebra: just what the predictors need (matrix
+ * products, transpose-products, and SPD solves via Cholesky).
+ */
+
+#ifndef ACDSE_ML_MATRIX_HH
+#define ACDSE_ML_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace acdse
+{
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Zero-initialised rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access. */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    /** Const element access. */
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product this * other. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** A^T * A (m x m for an n x m matrix), computed without the copy. */
+    Matrix gram() const;
+
+    /** A^T * y for a length-rows vector. */
+    std::vector<double> transposeTimes(const std::vector<double> &y) const;
+
+    /** A * x for a length-cols vector. */
+    std::vector<double> times(const std::vector<double> &x) const;
+
+    /**
+     * Solve (this) * x = b for a symmetric positive-definite matrix via
+     * Cholesky decomposition.
+     * @return true on success; false if the matrix is not SPD.
+     */
+    bool choleskySolve(const std::vector<double> &b,
+                       std::vector<double> &x) const;
+
+    /** Identity matrix of the given order. */
+    static Matrix identity(std::size_t n);
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_ML_MATRIX_HH

@@ -1,0 +1,143 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace acdse
+{
+
+Mlp::Mlp(MlpOptions options) : options_(options)
+{
+    ACDSE_ASSERT(options_.hiddenNeurons > 0, "need at least one neuron");
+    ACDSE_ASSERT(options_.epochs > 0, "need at least one epoch");
+}
+
+void
+Mlp::train(const std::vector<std::vector<double>> &xs,
+           const std::vector<double> &ys)
+{
+    ACDSE_ASSERT(!xs.empty(), "cannot train on no samples");
+    ACDSE_ASSERT(xs.size() == ys.size(), "xs/ys size mismatch");
+    inputDim_ = xs.front().size();
+
+    inputScaler_.fit(xs);
+    targetScaler_.fit(ys);
+    std::vector<std::vector<double>> xz(xs.size());
+    std::vector<double> yz(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xz[i] = inputScaler_.transform(xs[i]);
+        yz[i] = targetScaler_.scale(ys[i]);
+    }
+
+    // SGD with momentum can diverge for unlucky (topology, seed, rate)
+    // combinations; detect non-finite weights afterwards and retrain
+    // at a reduced rate.
+    double rate = options_.learningRate;
+    for (int attempt = 0; attempt < 4; ++attempt, rate *= 0.25) {
+        trainScaled(xz, yz, rate);
+        bool finite = true;
+        for (double w : hiddenWeights_)
+            finite &= std::isfinite(w);
+        for (double w : outputWeights_)
+            finite &= std::isfinite(w);
+        if (finite) {
+            trained_ = true;
+            return;
+        }
+    }
+    panic("MLP training diverged even at a tiny learning rate");
+}
+
+void
+Mlp::trainScaled(const std::vector<std::vector<double>> &xz,
+                 const std::vector<double> &yz, double rate)
+{
+    const std::size_t h = static_cast<std::size_t>(options_.hiddenNeurons);
+    Rng rng(options_.seed);
+    const double init = 1.0 / std::sqrt(static_cast<double>(inputDim_ + 1));
+    hiddenWeights_.assign(h * (inputDim_ + 1), 0.0);
+    for (auto &w : hiddenWeights_)
+        w = rng.nextDouble(-init, init);
+    outputWeights_.assign(h + 1, 0.0);
+    const double out_init = 1.0 / std::sqrt(static_cast<double>(h + 1));
+    for (auto &w : outputWeights_)
+        w = rng.nextDouble(-out_init, out_init);
+    hidden_.assign(h, 0.0);
+
+    std::vector<double> hidden_vel(hiddenWeights_.size(), 0.0);
+    std::vector<double> output_vel(outputWeights_.size(), 0.0);
+    std::vector<std::size_t> order(xz.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    double lr = rate;
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            const auto &x = xz[idx];
+            const double pred = forwardScaled(x);
+            // Clip the error signal: targets are z-scored, so anything
+            // beyond a few sigma indicates a transient blow-up that
+            // must not be amplified through the momentum terms.
+            const double err =
+                std::clamp(pred - yz[idx], -5.0, 5.0);
+
+            // Output-layer gradient: dE/dw_o = err * [hidden; 1].
+            for (std::size_t j = 0; j < h; ++j) {
+                const double g = err * hidden_[j];
+                output_vel[j] = options_.momentum * output_vel[j] - lr * g;
+            }
+            output_vel[h] = options_.momentum * output_vel[h] - lr * err;
+
+            // Hidden-layer gradient through tanh':
+            // delta_j = err * w_oj * (1 - hidden_j^2).
+            for (std::size_t j = 0; j < h; ++j) {
+                const double delta = err * outputWeights_[j] *
+                                     (1.0 - hidden_[j] * hidden_[j]);
+                double *row = &hiddenWeights_[j * (inputDim_ + 1)];
+                double *vel = &hidden_vel[j * (inputDim_ + 1)];
+                for (std::size_t i = 0; i < inputDim_; ++i) {
+                    vel[i] = options_.momentum * vel[i] -
+                             lr * delta * x[i];
+                    row[i] += vel[i];
+                }
+                vel[inputDim_] =
+                    options_.momentum * vel[inputDim_] - lr * delta;
+                row[inputDim_] += vel[inputDim_];
+            }
+            for (std::size_t j = 0; j <= h; ++j)
+                outputWeights_[j] += output_vel[j];
+        }
+        lr *= options_.lrDecay;
+    }
+}
+
+double
+Mlp::forwardScaled(const std::vector<double> &xz) const
+{
+    const std::size_t h = static_cast<std::size_t>(options_.hiddenNeurons);
+    double out = outputWeights_[h]; // output bias
+    for (std::size_t j = 0; j < h; ++j) {
+        const double *row = &hiddenWeights_[j * (inputDim_ + 1)];
+        double acc = row[inputDim_]; // hidden bias
+        for (std::size_t i = 0; i < inputDim_; ++i)
+            acc += row[i] * xz[i];
+        hidden_[j] = std::tanh(acc);
+        out += outputWeights_[j] * hidden_[j];
+    }
+    return out;
+}
+
+double
+Mlp::predict(const std::vector<double> &x) const
+{
+    ACDSE_ASSERT(trained_, "predict before train");
+    ACDSE_ASSERT(x.size() == inputDim_, "input width mismatch");
+    const double z = forwardScaled(inputScaler_.transform(x));
+    return targetScaler_.unscale(z);
+}
+
+} // namespace acdse

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multilayer perceptron (paper Section 5.2.1).
+ *
+ * A feed-forward network with one hidden layer of tanh neurons and a
+ * linear output, trained with stochastic back-propagation. This is the
+ * program-specific predictor of Ipek et al. that the architecture-
+ * centric model both builds on (as its offline per-program models) and
+ * compares against (Fig. 13).
+ */
+
+#ifndef ACDSE_ML_MLP_HH
+#define ACDSE_ML_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/scaler.hh"
+
+namespace acdse
+{
+
+/** Training hyper-parameters for Mlp. */
+struct MlpOptions
+{
+    int hiddenNeurons = 10;      //!< hidden-layer width (paper: 10)
+    int epochs = 500;            //!< passes over the training set
+    double learningRate = 0.02;  //!< initial SGD step size
+    double momentum = 0.9;       //!< classical momentum
+    double lrDecay = 0.995;      //!< per-epoch learning-rate decay
+    std::uint64_t seed = 1;      //!< weight init + shuffling seed
+};
+
+/**
+ * One-hidden-layer regression MLP: y = w_o . tanh(W_h [x;1]) + b_o
+ * (paper equation (2)). Inputs and the target are z-scored internally.
+ */
+class Mlp
+{
+  public:
+    /** Construct with the given hyper-parameters. */
+    explicit Mlp(MlpOptions options = {});
+
+    /**
+     * Train on n samples with back-propagation. Re-entrant: calling
+     * train again refits from fresh weights.
+     */
+    void train(const std::vector<std::vector<double>> &xs,
+               const std::vector<double> &ys);
+
+    /** Predict one sample. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Whether train() has been called. */
+    bool trained() const { return trained_; }
+
+    /** The options the network was built with. */
+    const MlpOptions &options() const { return options_; }
+
+  private:
+    /** Forward pass on an already-scaled input; fills hidden_. */
+    double forwardScaled(const std::vector<double> &xz) const;
+
+    /** One full SGD run on scaled data at the given learning rate. */
+    void trainScaled(const std::vector<std::vector<double>> &xz,
+                     const std::vector<double> &yz, double rate);
+
+    MlpOptions options_;
+    StandardScaler inputScaler_;
+    TargetScaler targetScaler_;
+    std::size_t inputDim_ = 0;
+    // Weights: hidden layer is (hidden x (inputDim+1)) with the bias
+    // folded in as the last column; output is (hidden+1) with bias last.
+    std::vector<double> hiddenWeights_;
+    std::vector<double> outputWeights_;
+    mutable std::vector<double> hidden_;
+    bool trained_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_ML_MLP_HH

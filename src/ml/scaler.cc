@@ -1,0 +1,55 @@
+#include "ml/scaler.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+
+namespace acdse
+{
+
+void
+StandardScaler::fit(const std::vector<std::vector<double>> &samples)
+{
+    ACDSE_ASSERT(!samples.empty(), "cannot fit scaler on no samples");
+    const std::size_t d = samples.front().size();
+    means_.assign(d, 0.0);
+    scales_.assign(d, 1.0);
+    for (const auto &x : samples) {
+        ACDSE_ASSERT(x.size() == d, "inconsistent sample dimensions");
+        for (std::size_t i = 0; i < d; ++i)
+            means_[i] += x[i];
+    }
+    for (double &m : means_)
+        m /= static_cast<double>(samples.size());
+    std::vector<double> var(d, 0.0);
+    for (const auto &x : samples)
+        for (std::size_t i = 0; i < d; ++i)
+            var[i] += (x[i] - means_[i]) * (x[i] - means_[i]);
+    for (std::size_t i = 0; i < d; ++i) {
+        const double sd =
+            std::sqrt(var[i] / static_cast<double>(samples.size()));
+        scales_[i] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+std::vector<double>
+StandardScaler::transform(const std::vector<double> &x) const
+{
+    ACDSE_ASSERT(x.size() == means_.size(), "dimension mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = (x[i] - means_[i]) / scales_[i];
+    return out;
+}
+
+void
+TargetScaler::fit(const std::vector<double> &ys)
+{
+    ACDSE_ASSERT(!ys.empty(), "cannot fit target scaler on no samples");
+    mean_ = stats::mean(ys);
+    const double sd = stats::stddev(ys);
+    sdev_ = sd > 1e-12 ? sd : 1.0;
+}
+
+} // namespace acdse

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Feature standardisation for the predictors: z-score per input
+ * dimension, fitted on training data and applied at prediction time.
+ */
+
+#ifndef ACDSE_ML_SCALER_HH
+#define ACDSE_ML_SCALER_HH
+
+#include <vector>
+
+namespace acdse
+{
+
+/** Per-dimension z-score scaler. */
+class StandardScaler
+{
+  public:
+    /** Fit mean/stddev per dimension on a set of samples. */
+    void fit(const std::vector<std::vector<double>> &samples);
+
+    /** Transform one sample in place. */
+    std::vector<double> transform(const std::vector<double> &x) const;
+
+    /** Whether fit() has been called. */
+    bool fitted() const { return !means_.empty(); }
+
+    /** Number of dimensions the scaler was fitted on. */
+    std::size_t dims() const { return means_.size(); }
+
+  private:
+    std::vector<double> means_;
+    std::vector<double> scales_;
+};
+
+/** Scalar z-score scaler for prediction targets. */
+class TargetScaler
+{
+  public:
+    /** Fit on the training targets. */
+    void fit(const std::vector<double> &ys);
+
+    /** Scale a raw target. */
+    double scale(double y) const { return (y - mean_) / sdev_; }
+
+    /** Invert the scaling on a model output. */
+    double unscale(double z) const { return z * sdev_ + mean_; }
+
+  private:
+    double mean_ = 0.0;
+    double sdev_ = 1.0;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_ML_SCALER_HH

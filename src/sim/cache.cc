@@ -1,0 +1,146 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+#include "sim/cacti.hh"
+
+namespace acdse
+{
+
+Cache::Cache(int sizeBytes, int assoc, int lineBytes)
+    : sets_(sizeBytes / (assoc * lineBytes)), assoc_(assoc),
+      lineShift_(std::countr_zero(static_cast<unsigned>(lineBytes)))
+{
+    ACDSE_ASSERT(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
+                 "cache dimensions must be positive");
+    ACDSE_ASSERT(sets_ > 0, "cache too small for its associativity");
+    ACDSE_ASSERT((sets_ & (sets_ - 1)) == 0, "set count must be 2^n");
+    ACDSE_ASSERT(std::has_single_bit(static_cast<unsigned>(lineBytes)),
+                 "line size must be 2^n");
+    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t addr, bool write)
+{
+    ++accesses_;
+    ++useCounter_;
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint64_t set = line_addr & (static_cast<std::uint64_t>(
+                                               sets_) - 1);
+    const std::uint64_t tag = line_addr >> std::countr_zero(
+                                  static_cast<unsigned>(sets_));
+    Line *base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+
+    Line *victim = base;
+    for (int w = 0; w < assoc_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useCounter_;
+            line.dirty |= write;
+            return {true, false};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    const bool writeback = victim->valid && victim->dirty;
+    writebacks_ += writeback;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    victim->dirty = write;
+    return {false, writeback};
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint64_t set = line_addr & (static_cast<std::uint64_t>(
+                                               sets_) - 1);
+    const std::uint64_t tag = line_addr >> std::countr_zero(
+                                  static_cast<unsigned>(sets_));
+    const Line *base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    useCounter_ = accesses_ = misses_ = writebacks_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MicroarchConfig &config)
+    : il1_(config.il1Bytes(), fixedParams().il1Assoc,
+           fixedParams().l1LineBytes),
+      dl1_(config.dl1Bytes(), fixedParams().dl1Assoc,
+           fixedParams().l1LineBytes),
+      l2_(config.l2Bytes(), fixedParams().l2Assoc,
+          fixedParams().l2LineBytes),
+      memLatency_(fixedParams().memLatency)
+{
+    il1Latency_ = estimateCache(config.il1Bytes(), fixedParams().il1Assoc,
+                                fixedParams().l1LineBytes, 1)
+                      .latencyCycles;
+    dl1Latency_ = estimateCache(config.dl1Bytes(), fixedParams().dl1Assoc,
+                                fixedParams().l1LineBytes, 1)
+                      .latencyCycles;
+    l2Latency_ = estimateCache(config.l2Bytes(), fixedParams().l2Assoc,
+                               fixedParams().l2LineBytes, 2)
+                     .latencyCycles;
+}
+
+int
+CacheHierarchy::dataAccess(std::uint64_t addr, bool write,
+                           HierarchyAccessEvents &events)
+{
+    ++events.dl1;
+    const CacheAccessResult l1 = dl1_.access(addr, write);
+    if (l1.hit)
+        return dl1Latency_;
+    if (l1.writebackDirty)
+        ++events.l2; // dirty victim written into L2
+
+    ++events.l2;
+    const CacheAccessResult l2 = l2_.access(addr, false);
+    if (l2.hit)
+        return dl1Latency_ + l2Latency_;
+    if (l2.writebackDirty)
+        ++events.mem;
+
+    ++events.mem;
+    return dl1Latency_ + l2Latency_ + memLatency_;
+}
+
+int
+CacheHierarchy::instAccess(std::uint64_t pc, HierarchyAccessEvents &events)
+{
+    ++events.il1;
+    const CacheAccessResult l1 = il1_.access(pc, false);
+    if (l1.hit)
+        return 1;
+
+    ++events.l2;
+    const CacheAccessResult l2 = l2_.access(pc, false);
+    if (l2.hit)
+        return il1Latency_ + l2Latency_;
+    if (l2.writebackDirty)
+        ++events.mem;
+
+    ++events.mem;
+    return il1Latency_ + l2Latency_ + memLatency_;
+}
+
+} // namespace acdse

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cacti-style timing/energy estimation for SRAM structures.
+ *
+ * The paper uses Cacti 4.0 for access latencies and (through Wattch)
+ * per-access energies of every sized structure. We reproduce the shape
+ * of those models rather than their absolute calibration: access energy
+ * grows with the array dimensions and the port count (wordline energy
+ * scales with the row width, bitline energy with the row count, and
+ * wires lengthen linearly with ports), leakage grows with the bit
+ * count, and latency grows logarithmically with capacity. Absolute
+ * constants are chosen so that a full simulation lands in the nJ-to-mJ
+ * range the paper reports.
+ */
+
+#ifndef ACDSE_SIM_CACTI_HH
+#define ACDSE_SIM_CACTI_HH
+
+namespace acdse
+{
+
+/** Estimated characteristics of one SRAM structure. */
+struct ArrayEstimate
+{
+    double readEnergyNj;    //!< energy per read access
+    double writeEnergyNj;   //!< energy per write access
+    double leakageNjPerCycle; //!< static energy per cycle
+    int latencyCycles;      //!< access latency
+};
+
+/**
+ * Model a RAM array (register file, ROB, rename table, predictor...).
+ *
+ * @param rows        number of entries.
+ * @param bitsPerRow  payload bits per entry.
+ * @param readPorts   read ports.
+ * @param writePorts  write ports.
+ */
+ArrayEstimate estimateArray(int rows, int bitsPerRow, int readPorts,
+                            int writePorts);
+
+/**
+ * Model a CAM structure (issue-queue wakeup, LSQ search): a search
+ * touches every row's tag comparator.
+ */
+ArrayEstimate estimateCam(int rows, int tagBits, int searchPorts);
+
+/**
+ * Model a set-associative cache: data + tag arrays, latency from the
+ * capacity (Cacti's dominant term at fixed technology).
+ *
+ * @param sizeBytes  total capacity.
+ * @param assoc      associativity.
+ * @param lineBytes  line size.
+ * @param level      1 for L1 (latency 2-4 cycles), 2 for L2 (6-14).
+ */
+ArrayEstimate estimateCache(int sizeBytes, int assoc, int lineBytes,
+                            int level);
+
+} // namespace acdse
+
+#endif // ACDSE_SIM_CACTI_HH

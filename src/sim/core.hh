@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cycle-level out-of-order superscalar core model.
+ *
+ * Trace-driven analogue of the paper's SimpleScalar/Wattch setup: a
+ * fetch/rename-dispatch/issue/execute/writeback/commit pipeline in
+ * which every one of the 13 varied parameters is a structural limit:
+ *
+ *  - width bounds fetch, dispatch, issue and commit bandwidth and sets
+ *    the functional-unit pool (Table 2b);
+ *  - ROB / IQ / LSQ occupancy stalls dispatch when full;
+ *  - physical-register-file size bounds renaming, read ports bound
+ *    operand reads at issue, write ports arbitrate writeback;
+ *  - the gshare predictor and BTB drive front-end redirects, and the
+ *    in-flight-branch limit stalls fetch;
+ *  - the I-cache gates fetch, the D-cache/L2 set load latencies.
+ *
+ * Standard trace-driven simplifications (documented in DESIGN.md): no
+ * wrong-path execution (a mispredict stalls fetch until the branch
+ * resolves plus a redirect penalty) and perfect store-to-load
+ * disambiguation.
+ */
+
+#ifndef ACDSE_SIM_CORE_HH
+#define ACDSE_SIM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "sim/branch_predictor.hh"
+#include "sim/cache.hh"
+#include "sim/energy.hh"
+#include "trace/trace.hh"
+
+namespace acdse
+{
+
+/** Statistics of one timed run. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;           //!< total cycles
+    std::uint64_t instructions = 0;     //!< committed instructions
+    std::uint64_t branches = 0;         //!< committed branches
+    std::uint64_t mispredicts = 0;      //!< direction mispredictions
+    std::uint64_t btbMisses = 0;        //!< taken branches missing a target
+    std::uint64_t il1Misses = 0;        //!< L1I misses
+    std::uint64_t dl1Misses = 0;        //!< L1D misses
+    std::uint64_t l2Misses = 0;         //!< L2 misses
+    std::uint64_t dispatchStallRob = 0; //!< cycles dispatch blocked on ROB
+    std::uint64_t dispatchStallIq = 0;  //!< ... on the issue queue
+    std::uint64_t dispatchStallLsq = 0; //!< ... on the LSQ
+    std::uint64_t dispatchStallRegs = 0; //!< ... on physical registers
+    std::uint64_t fetchStallBranches = 0; //!< fetch blocked on branch limit
+
+    /** Committed instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** One core instance: build per configuration, run once per trace. */
+class OooCore
+{
+  public:
+    /**
+     * @param config the design point to model.
+     * @param energy event sink for Wattch-style accounting (may outlive
+     *               several runs; counts accumulate).
+     */
+    OooCore(const MicroarchConfig &config, EnergyModel &energy);
+
+    /**
+     * Run the pipeline over trace instructions [begin, end) and return
+     * the timing statistics. Microarchitectural state (caches,
+     * predictors) persists across calls, enabling warm-up runs and
+     * SimPoint-style interval simulation.
+     */
+    CoreStats run(const Trace &trace, std::size_t begin = 0,
+                  std::size_t end = SIZE_MAX);
+
+    /**
+     * Functional warming (SMARTS-style): stream instructions [begin,
+     * end) through the caches and branch predictor without modelling
+     * timing and without recording energy events. Orders of magnitude
+     * cheaper than run(); used between detailed measurement units.
+     */
+    void warm(const Trace &trace, std::size_t begin, std::size_t end);
+
+    /** The memory hierarchy (for statistics). */
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+
+  private:
+    /** Per-in-flight-instruction bookkeeping (ROB ring slot). */
+    struct InstState
+    {
+        std::uint64_t readyCycle;   //!< result availability cycle
+        bool issued;                //!< left the issue queue
+    };
+
+    const MicroarchConfig config_;
+    EnergyModel &energy_;
+    CacheHierarchy hierarchy_;
+    GsharePredictor bpred_;
+    Btb btb_;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_SIM_CORE_HH

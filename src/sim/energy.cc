@@ -1,0 +1,182 @@
+#include "sim/energy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "sim/cacti.hh"
+
+namespace acdse
+{
+
+const char *
+energyEventName(EnergyEvent event)
+{
+    switch (event) {
+      case EnergyEvent::Il1Access: return "il1-access";
+      case EnergyEvent::Dl1Access: return "dl1-access";
+      case EnergyEvent::L2Access: return "l2-access";
+      case EnergyEvent::MemAccess: return "mem-access";
+      case EnergyEvent::BpredLookup: return "bpred-lookup";
+      case EnergyEvent::BpredUpdate: return "bpred-update";
+      case EnergyEvent::BtbLookup: return "btb-lookup";
+      case EnergyEvent::BtbUpdate: return "btb-update";
+      case EnergyEvent::RenameLookup: return "rename-lookup";
+      case EnergyEvent::RobWrite: return "rob-write";
+      case EnergyEvent::RobRead: return "rob-read";
+      case EnergyEvent::IqWrite: return "iq-write";
+      case EnergyEvent::IqWakeup: return "iq-wakeup";
+      case EnergyEvent::IqIssue: return "iq-issue";
+      case EnergyEvent::LsqWrite: return "lsq-write";
+      case EnergyEvent::LsqSearch: return "lsq-search";
+      case EnergyEvent::RfRead: return "rf-read";
+      case EnergyEvent::RfWrite: return "rf-write";
+      case EnergyEvent::FuIntAlu: return "fu-int-alu";
+      case EnergyEvent::FuIntMul: return "fu-int-mul";
+      case EnergyEvent::FuFpAlu: return "fu-fp-alu";
+      case EnergyEvent::FuFpMul: return "fu-fp-mul";
+      case EnergyEvent::FuFpDiv: return "fu-fp-div";
+      case EnergyEvent::ResultBus: return "result-bus";
+      default: panic("bad energy event");
+    }
+}
+
+EnergyModel::EnergyModel(const MicroarchConfig &config)
+{
+    const FixedParams &fp = fixedParams();
+    const int width = config.width();
+    auto set = [&](EnergyEvent ev, double nj) {
+        costsNj_[static_cast<std::size_t>(ev)] = nj;
+    };
+
+    // Caches.
+    const ArrayEstimate il1 = estimateCache(
+        config.il1Bytes(), fp.il1Assoc, fp.l1LineBytes, 1);
+    const ArrayEstimate dl1 = estimateCache(
+        config.dl1Bytes(), fp.dl1Assoc, fp.l1LineBytes, 1);
+    const ArrayEstimate l2 = estimateCache(
+        config.l2Bytes(), fp.l2Assoc, fp.l2LineBytes, 2);
+    set(EnergyEvent::Il1Access, il1.readEnergyNj);
+    set(EnergyEvent::Dl1Access, dl1.readEnergyNj);
+    set(EnergyEvent::L2Access, l2.readEnergyNj);
+    set(EnergyEvent::MemAccess, 4.0); // off-chip DRAM access
+
+    // Branch predictor structures.
+    const ArrayEstimate bpred =
+        estimateArray(config.bpredEntries(), 2, 1, 1);
+    const ArrayEstimate btb = estimateArray(config.btbEntries(), 64, 1, 1);
+    set(EnergyEvent::BpredLookup, bpred.readEnergyNj);
+    set(EnergyEvent::BpredUpdate, bpred.writeEnergyNj);
+    set(EnergyEvent::BtbLookup, btb.readEnergyNj);
+    set(EnergyEvent::BtbUpdate, btb.writeEnergyNj);
+
+    // Rename table: one mapping per architectural register, as many
+    // ports as the dispatch width needs.
+    const ArrayEstimate rename = estimateArray(
+        fp.archRegs * 2, static_cast<int>(
+            std::ceil(std::log2(config.rfSize())) + 1),
+        3 * width, width);
+    set(EnergyEvent::RenameLookup, rename.readEnergyNj);
+
+    // Window structures.
+    const ArrayEstimate rob =
+        estimateArray(config.robSize(), 128, width, width);
+    set(EnergyEvent::RobWrite, rob.writeEnergyNj);
+    set(EnergyEvent::RobRead, rob.readEnergyNj);
+    const ArrayEstimate iq_ram =
+        estimateArray(config.iqSize(), 64, width, width);
+    const ArrayEstimate iq_cam = estimateCam(config.iqSize(), 16, width);
+    set(EnergyEvent::IqWrite, iq_ram.writeEnergyNj);
+    set(EnergyEvent::IqWakeup, iq_cam.readEnergyNj);
+    set(EnergyEvent::IqIssue, iq_ram.readEnergyNj);
+    const ArrayEstimate lsq_ram =
+        estimateArray(config.lsqSize(), 80, width, width);
+    const ArrayEstimate lsq_cam = estimateCam(config.lsqSize(), 40, 2);
+    set(EnergyEvent::LsqWrite, lsq_ram.writeEnergyNj);
+    set(EnergyEvent::LsqSearch, lsq_cam.readEnergyNj);
+
+    // Register file: the design space's port counts enter here.
+    const ArrayEstimate rf = estimateArray(
+        config.rfSize(), 64, config.rfReadPorts(), config.rfWritePorts());
+    set(EnergyEvent::RfRead, rf.readEnergyNj);
+    set(EnergyEvent::RfWrite, rf.writeEnergyNj);
+
+    // Functional units: fixed per-op costs.
+    set(EnergyEvent::FuIntAlu, 0.010);
+    set(EnergyEvent::FuIntMul, 0.050);
+    set(EnergyEvent::FuFpAlu, 0.040);
+    set(EnergyEvent::FuFpMul, 0.080);
+    set(EnergyEvent::FuFpDiv, 0.300);
+
+    // Result bus length grows with the window and the port count.
+    set(EnergyEvent::ResultBus,
+        0.004 + 0.0002 * config.iqSize() + 0.001 * width);
+
+    // Leakage: every sized structure contributes; functional units
+    // contribute in proportion to their count.
+    const FunctionalUnitCounts fus = functionalUnitsForWidth(width);
+    leakagePerCycleNj_ =
+        il1.leakageNjPerCycle + dl1.leakageNjPerCycle +
+        l2.leakageNjPerCycle + bpred.leakageNjPerCycle +
+        btb.leakageNjPerCycle + rob.leakageNjPerCycle +
+        iq_ram.leakageNjPerCycle + iq_cam.leakageNjPerCycle +
+        lsq_ram.leakageNjPerCycle + lsq_cam.leakageNjPerCycle +
+        rf.leakageNjPerCycle + rename.leakageNjPerCycle +
+        0.002 * (fus.intAlu + fus.intMul) +
+        0.004 * (fus.fpAlu + fus.fpMulDiv);
+
+    // Clock tree plus conditional-clocking residue: idle copies of the
+    // per-issue-slot datapath still burn ~10% of their active energy
+    // every cycle, which is what makes needlessly wide machines
+    // expensive (paper Fig. 3g).
+    const double per_slot_active =
+        iq_ram.readEnergyNj + 2.0 * rf.readEnergyNj + rf.writeEnergyNj +
+        rob.writeEnergyNj + costNj(EnergyEvent::FuIntAlu);
+    clockPerCycleNj_ = 0.02 + 0.01 * width + 0.10 * width *
+                                                 per_slot_active;
+}
+
+double
+EnergyModel::dynamicEnergyNj() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i)
+        total += costsNj_[i] * static_cast<double>(counts_[i]);
+    return total;
+}
+
+double
+EnergyModel::staticEnergyNj(std::uint64_t cycles) const
+{
+    return (leakagePerCycleNj_ + clockPerCycleNj_) *
+           static_cast<double>(cycles);
+}
+
+std::vector<EnergyModel::BreakdownEntry>
+EnergyModel::breakdown(std::uint64_t cycles) const
+{
+    std::vector<BreakdownEntry> entries;
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
+        const auto event = static_cast<EnergyEvent>(i);
+        entries.push_back({energyEventName(event), counts_[i],
+                           costsNj_[i] * static_cast<double>(counts_[i]),
+                           0.0});
+    }
+    entries.push_back({"leakage", cycles,
+                       leakagePerCycleNj_ * static_cast<double>(cycles),
+                       0.0});
+    entries.push_back({"clock+idle", cycles,
+                       clockPerCycleNj_ * static_cast<double>(cycles),
+                       0.0});
+
+    const double total = totalEnergyNj(cycles);
+    for (auto &entry : entries)
+        entry.share = total > 0.0 ? entry.energyNj / total : 0.0;
+    std::sort(entries.begin(), entries.end(),
+              [](const BreakdownEntry &a, const BreakdownEntry &b) {
+                  return a.energyNj > b.energyNj;
+              });
+    return entries;
+}
+
+} // namespace acdse

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * First-order analytic performance model in the style of Karkhanis &
+ * Smith (ISCA'04), the paper's reference [3].
+ *
+ * The paper argues (Section 9.3) that hand-built analytic models are an
+ * alternative to learned predictors but are costly to maintain. We
+ * implement one as an ablation baseline: a single structural pass over
+ * the trace collects miss events for the configuration's caches and
+ * predictor, and a closed-form expression combines them with an
+ * ILP-limited steady-state issue rate. bench_ablation compares its
+ * fidelity against the cycle-level model.
+ */
+
+#ifndef ACDSE_SIM_FIRST_ORDER_HH
+#define ACDSE_SIM_FIRST_ORDER_HH
+
+#include "arch/microarch_config.hh"
+#include "trace/trace.hh"
+
+namespace acdse
+{
+
+/** Output of the first-order model. */
+struct FirstOrderResult
+{
+    double cycles;          //!< estimated execution cycles
+    double ipcSteadyState;  //!< miss-free issue rate
+    double branchPenalty;   //!< cycles charged to mispredictions
+    double memoryPenalty;   //!< cycles charged to cache misses
+};
+
+/** Estimate the run time of @p trace on @p config analytically. */
+FirstOrderResult firstOrderEstimate(const MicroarchConfig &config,
+                                    const Trace &trace);
+
+} // namespace acdse
+
+#endif // ACDSE_SIM_FIRST_ORDER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The four target metrics of the paper: cycles, energy, energy-delay
+ * and energy-delay-squared (Section 3.2).
+ */
+
+#ifndef ACDSE_SIM_METRICS_HH
+#define ACDSE_SIM_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace acdse
+{
+
+/** Which target metric a predictor models. */
+enum class Metric : std::size_t
+{
+    Cycles = 0, //!< execution time in cycles
+    Energy,     //!< total energy in nJ
+    Ed,         //!< energy-delay product
+    Edd,        //!< energy-delay-squared product
+    NumMetrics, //!< sentinel
+};
+
+/** Number of target metrics. */
+constexpr std::size_t kNumMetrics =
+    static_cast<std::size_t>(Metric::NumMetrics);
+
+/** All metrics, for range-for sweeps. */
+constexpr std::array<Metric, kNumMetrics> kAllMetrics{
+    Metric::Cycles, Metric::Energy, Metric::Ed, Metric::Edd};
+
+/** Printable name of a metric. */
+const char *metricName(Metric metric);
+
+/** The measured values of all four metrics for one simulation. */
+struct Metrics
+{
+    double cycles = 0.0;    //!< execution cycles
+    double energyNj = 0.0;  //!< energy in nJ
+    double ed = 0.0;        //!< energy * delay
+    double edd = 0.0;       //!< energy * delay^2
+
+    /** Value of one metric. */
+    double get(Metric metric) const;
+
+    /** Build the derived products from cycles and energy. */
+    static Metrics fromCyclesEnergy(double cycles, double energyNj);
+
+    /**
+     * Rescale to a phase of @p targetInstructions as the paper does
+     * when normalising per-benchmark results (Section 4.1): cycles and
+     * energy scale linearly, the products accordingly.
+     */
+    Metrics scaledToInstructions(double actualInstructions,
+                                 double targetInstructions) const;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_SIM_METRICS_HH

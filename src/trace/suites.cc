@@ -1,0 +1,483 @@
+#include "trace/suites.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+
+namespace
+{
+
+/** Start from an integer-program template. */
+ProgramProfile
+intProgram(const char *name, Suite suite)
+{
+    ProgramProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.seed = ProgramProfile::seedFromName(p.name);
+    p.wIntAlu = 4.0;
+    p.wIntMul = 0.25;
+    p.wFpAlu = 0.0;
+    p.wFpMul = 0.0;
+    p.wFpDiv = 0.0;
+    p.wLoad = 2.2;
+    p.wStore = 1.0;
+    p.probHot = 0.85;
+    p.probStream = 0.05;
+    p.strideBytes = 16;
+    return p;
+}
+
+/** Start from a floating-point-program template. */
+ProgramProfile
+fpProgram(const char *name, Suite suite)
+{
+    ProgramProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.seed = ProgramProfile::seedFromName(p.name);
+    p.wIntAlu = 2.0;
+    p.wIntMul = 0.15;
+    p.wFpAlu = 2.2;
+    p.wFpMul = 1.2;
+    p.wFpDiv = 0.05;
+    p.wLoad = 2.4;
+    p.wStore = 1.0;
+    p.branchFraction = 0.06;
+    p.branchPredictability = 0.94;
+    p.meanDepDistance = 14.0;
+    p.independentFraction = 0.2;
+    p.probHot = 0.45;
+    p.probStream = 0.4;
+    p.strideBytes = 32;
+    return p;
+}
+
+std::vector<ProgramProfile>
+buildSpec()
+{
+    std::vector<ProgramProfile> v;
+
+    // ---- SPEC CINT 2000 -------------------------------------------------
+    {   // gzip: compression over a moderate buffer, decent locality.
+        auto p = intProgram("gzip", Suite::SpecCpu2000);
+        p.dataFootprintKb = 96; p.hotRegionKb = 24;
+        p.branchFraction = 0.14; p.branchPredictability = 0.88;
+        p.meanDepDistance = 8; p.codeFootprintKb = 40;
+        v.push_back(p);
+    }
+    {   // vpr: place & route, mixed locality.
+        auto p = intProgram("vpr", Suite::SpecCpu2000);
+        p.dataFootprintKb = 160; p.hotRegionKb = 32; p.probHot = 0.5;
+        p.branchFraction = 0.13; p.branchPredictability = 0.82;
+        p.meanDepDistance = 9; p.codeFootprintKb = 64;
+        v.push_back(p);
+    }
+    {   // gcc: huge code footprint, stresses the I-cache.
+        auto p = intProgram("gcc", Suite::SpecCpu2000);
+        p.dataFootprintKb = 448; p.hotRegionKb = 64; p.probHot = 0.45;
+        p.branchFraction = 0.17; p.branchPredictability = 0.84;
+        p.meanDepDistance = 7; p.codeFootprintKb = 256;
+        v.push_back(p);
+    }
+    {   // mcf: pointer-chasing over a huge sparse structure --
+        // memory-latency bound, one of the paper's two outliers.
+        auto p = intProgram("mcf", Suite::SpecCpu2000);
+        p.dataFootprintKb = 3072; p.hotRegionKb = 32; p.probHot = 0.25;
+        p.probStream = 0.1; p.pointerChaseFraction = 0.35;
+        p.wLoad = 3.2; p.branchFraction = 0.12;
+        p.branchPredictability = 0.85; p.meanDepDistance = 5;
+        p.codeFootprintKb = 24;
+        v.push_back(p);
+    }
+    {   // crafty: chess, branchy with hard-to-predict branches.
+        auto p = intProgram("crafty", Suite::SpecCpu2000);
+        p.dataFootprintKb = 96; p.hotRegionKb = 24;
+        p.branchFraction = 0.16; p.branchPredictability = 0.78;
+        p.meanDepDistance = 10; p.codeFootprintKb = 128;
+        v.push_back(p);
+    }
+    {   // parser: small working set, short dependence chains -- its
+        // space varies only slightly (paper Section 4.1).
+        auto p = intProgram("parser", Suite::SpecCpu2000);
+        p.dataFootprintKb = 24; p.hotRegionKb = 12; p.probHot = 0.9;
+        p.branchFraction = 0.16; p.branchPredictability = 0.92;
+        p.meanDepDistance = 3.5; p.codeFootprintKb = 24;
+        v.push_back(p);
+    }
+    {   // eon: C++ ray tracer, light FP mix, small data.
+        auto p = intProgram("eon", Suite::SpecCpu2000);
+        p.wFpAlu = 1.0; p.wFpMul = 0.6;
+        p.dataFootprintKb = 48; p.hotRegionKb = 16;
+        p.branchFraction = 0.12; p.branchPredictability = 0.9;
+        p.meanDepDistance = 11; p.codeFootprintKb = 96;
+        v.push_back(p);
+    }
+    {   // perlbmk: interpreter, big code, branchy.
+        auto p = intProgram("perlbmk", Suite::SpecCpu2000);
+        p.dataFootprintKb = 128; p.hotRegionKb = 48;
+        p.branchFraction = 0.18; p.branchPredictability = 0.86;
+        p.meanDepDistance = 7; p.codeFootprintKb = 192;
+        v.push_back(p);
+    }
+    {   // gap: group theory, multiply-heavy integer code.
+        auto p = intProgram("gap", Suite::SpecCpu2000);
+        p.wIntMul = 0.5;
+        p.dataFootprintKb = 192; p.hotRegionKb = 48;
+        p.branchFraction = 0.13; p.branchPredictability = 0.88;
+        p.meanDepDistance = 9; p.codeFootprintKb = 72;
+        v.push_back(p);
+    }
+    {   // vortex: OO database, very large code footprint.
+        auto p = intProgram("vortex", Suite::SpecCpu2000);
+        p.dataFootprintKb = 320; p.hotRegionKb = 64;
+        p.branchFraction = 0.15; p.branchPredictability = 0.9;
+        p.meanDepDistance = 8; p.codeFootprintKb = 320;
+        v.push_back(p);
+    }
+    {   // bzip2: block-sorting compression, large buffers.
+        auto p = intProgram("bzip2", Suite::SpecCpu2000);
+        p.dataFootprintKb = 768; p.hotRegionKb = 96; p.probHot = 0.5;
+        p.branchFraction = 0.13; p.branchPredictability = 0.85;
+        p.meanDepDistance = 9; p.codeFootprintKb = 32;
+        v.push_back(p);
+    }
+    {   // twolf: place & route, branchy, moderate data.
+        auto p = intProgram("twolf", Suite::SpecCpu2000);
+        p.dataFootprintKb = 80; p.hotRegionKb = 24;
+        p.branchFraction = 0.15; p.branchPredictability = 0.8;
+        p.meanDepDistance = 8; p.codeFootprintKb = 64;
+        v.push_back(p);
+    }
+
+    // ---- SPEC CFP 2000 ----------------------------------------------
+    {   // wupwise: quantum chromodynamics, regular FP.
+        auto p = fpProgram("wupwise", Suite::SpecCpu2000);
+        p.dataFootprintKb = 384; p.hotRegionKb = 48; p.strideBytes = 32;
+        p.probStream = 0.45; p.meanDepDistance = 16;
+        p.codeFootprintKb = 32;
+        v.push_back(p);
+    }
+    {   // swim: shallow-water model, pure streaming over big grids.
+        auto p = fpProgram("swim", Suite::SpecCpu2000);
+        p.dataFootprintKb = 2560; p.hotRegionKb = 32; p.probHot = 0.1;
+        p.probStream = 0.7; p.numStreams = 8; p.strideBytes = 64;
+        p.branchFraction = 0.04; p.branchPredictability = 0.97;
+        p.meanDepDistance = 18; p.codeFootprintKb = 16;
+        v.push_back(p);
+    }
+    {   // mgrid: multigrid solver, streaming with reuse.
+        auto p = fpProgram("mgrid", Suite::SpecCpu2000);
+        p.dataFootprintKb = 1536; p.hotRegionKb = 96; p.probHot = 0.3;
+        p.probStream = 0.55; p.numStreams = 6; p.strideBytes = 48;
+        p.branchFraction = 0.03; p.branchPredictability = 0.97;
+        p.meanDepDistance = 20; p.codeFootprintKb = 16;
+        v.push_back(p);
+    }
+    {   // applu: PDE solver, the paper's Fig. 1 example.
+        auto p = fpProgram("applu", Suite::SpecCpu2000);
+        p.dataFootprintKb = 896; p.hotRegionKb = 96; p.probHot = 0.35;
+        p.probStream = 0.45; p.wFpDiv = 0.15; p.strideBytes = 32;
+        p.branchFraction = 0.05; p.meanDepDistance = 15;
+        p.codeFootprintKb = 48;
+        v.push_back(p);
+    }
+    {   // mesa: 3D graphics library, mixed int/FP, big code.
+        auto p = fpProgram("mesa", Suite::SpecCpu2000);
+        p.wIntAlu = 3.0;
+        p.dataFootprintKb = 64; p.hotRegionKb = 24;
+        p.branchFraction = 0.10; p.branchPredictability = 0.9;
+        p.meanDepDistance = 10; p.codeFootprintKb = 128;
+        v.push_back(p);
+    }
+    {   // galgel: fluid dynamics, cache-resident FP.
+        auto p = fpProgram("galgel", Suite::SpecCpu2000);
+        p.dataFootprintKb = 192; p.hotRegionKb = 48; p.probHot = 0.55;
+        p.meanDepDistance = 14; p.codeFootprintKb = 24;
+        v.push_back(p);
+    }
+    {   // art: neural-net image recognition; long strided streams that
+        // defeat every cache level -- the paper's strongest outlier.
+        auto p = fpProgram("art", Suite::SpecCpu2000);
+        p.dataFootprintKb = 4096; p.hotRegionKb = 16; p.probHot = 0.05;
+        p.probStream = 0.75; p.numStreams = 12; p.strideBytes = 64;
+        p.wLoad = 3.0; p.branchFraction = 0.04;
+        p.branchPredictability = 0.97; p.meanDepDistance = 22;
+        p.independentFraction = 0.3; p.codeFootprintKb = 12;
+        v.push_back(p);
+    }
+    {   // equake: sparse-matrix earthquake sim, some indirection.
+        auto p = fpProgram("equake", Suite::SpecCpu2000);
+        p.dataFootprintKb = 512; p.hotRegionKb = 48;
+        p.pointerChaseFraction = 0.15; p.branchFraction = 0.08;
+        p.meanDepDistance = 12; p.codeFootprintKb = 24;
+        v.push_back(p);
+    }
+    {   // facerec: face recognition, FFT-style FP.
+        auto p = fpProgram("facerec", Suite::SpecCpu2000);
+        p.dataFootprintKb = 256; p.hotRegionKb = 48;
+        p.meanDepDistance = 14; p.codeFootprintKb = 32;
+        v.push_back(p);
+    }
+    {   // ammp: molecular dynamics with neighbour lists.
+        auto p = fpProgram("ammp", Suite::SpecCpu2000);
+        p.dataFootprintKb = 640; p.hotRegionKb = 48;
+        p.pointerChaseFraction = 0.1; p.branchFraction = 0.07;
+        p.meanDepDistance = 12; p.codeFootprintKb = 48;
+        v.push_back(p);
+    }
+    {   // lucas: Lucas-Lehmer primality, long FFT streams.
+        auto p = fpProgram("lucas", Suite::SpecCpu2000);
+        p.dataFootprintKb = 1024; p.hotRegionKb = 48; p.probHot = 0.2;
+        p.probStream = 0.6; p.strideBytes = 48; p.branchFraction = 0.03;
+        p.meanDepDistance = 18; p.codeFootprintKb = 16;
+        v.push_back(p);
+    }
+    {   // fma3d: crash simulation, bigger code, mixed behaviour.
+        auto p = fpProgram("fma3d", Suite::SpecCpu2000);
+        p.dataFootprintKb = 384; p.hotRegionKb = 64;
+        p.branchFraction = 0.07; p.meanDepDistance = 13;
+        p.codeFootprintKb = 256;
+        v.push_back(p);
+    }
+    {   // sixtrack: particle tracking, hot-loop FP with divides.
+        auto p = fpProgram("sixtrack", Suite::SpecCpu2000);
+        p.dataFootprintKb = 96; p.hotRegionKb = 32; p.probHot = 0.7;
+        p.probStream = 0.3;
+        p.wFpDiv = 0.1; p.branchFraction = 0.05;
+        p.meanDepDistance = 15; p.codeFootprintKb = 96;
+        v.push_back(p);
+    }
+    {   // apsi: meteorology, moderate everything.
+        auto p = fpProgram("apsi", Suite::SpecCpu2000);
+        p.dataFootprintKb = 256; p.hotRegionKb = 48;
+        p.branchFraction = 0.07; p.meanDepDistance = 13;
+        p.codeFootprintKb = 64;
+        v.push_back(p);
+    }
+
+    ACDSE_ASSERT(v.size() == 26, "expected 26 SPEC CPU 2000 programs");
+    return v;
+}
+
+std::vector<ProgramProfile>
+buildMiBench()
+{
+    std::vector<ProgramProfile> v;
+    // Embedded programs: small code and data footprints, denser
+    // branches; a handful deliberately unusual (patricia, tiff2rgba).
+    {
+        auto p = fpProgram("basicmath", Suite::MiBench);
+        p.dataFootprintKb = 16; p.hotRegionKb = 8; p.probHot = 0.85;
+        p.probStream = 0.15;
+        p.wFpDiv = 0.2; p.branchFraction = 0.12;
+        p.branchPredictability = 0.9; p.meanDepDistance = 8;
+        p.codeFootprintKb = 8;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("bitcount", Suite::MiBench);
+        p.dataFootprintKb = 4; p.hotRegionKb = 2; p.probHot = 0.95;
+        p.branchFraction = 0.2; p.branchPredictability = 0.85;
+        p.meanDepDistance = 5; p.codeFootprintKb = 4;
+        v.push_back(p);
+    }
+    {   // qsort: data-dependent compare branches are hard.
+        auto p = intProgram("qsort", Suite::MiBench);
+        p.dataFootprintKb = 64; p.hotRegionKb = 16;
+        p.branchFraction = 0.18; p.branchPredictability = 0.7;
+        p.meanDepDistance = 6; p.codeFootprintKb = 8;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("susan", Suite::MiBench);
+        p.wIntMul = 0.8;
+        p.dataFootprintKb = 64; p.hotRegionKb = 16;
+        p.branchFraction = 0.12; p.branchPredictability = 0.88;
+        p.meanDepDistance = 10; p.codeFootprintKb = 16;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("jpeg", Suite::MiBench);
+        p.wIntMul = 1.0;
+        p.dataFootprintKb = 96; p.hotRegionKb = 24;
+        p.branchFraction = 0.11; p.branchPredictability = 0.88;
+        p.meanDepDistance = 9; p.codeFootprintKb = 48;
+        v.push_back(p);
+    }
+    {
+        auto p = fpProgram("lame", Suite::MiBench);
+        p.wIntAlu = 3.0;
+        p.dataFootprintKb = 128; p.hotRegionKb = 32;
+        p.branchFraction = 0.1; p.branchPredictability = 0.88;
+        p.meanDepDistance = 11; p.codeFootprintKb = 64;
+        v.push_back(p);
+    }
+    {   // dijkstra: adjacency-list graph walk.
+        auto p = intProgram("dijkstra", Suite::MiBench);
+        p.dataFootprintKb = 64; p.hotRegionKb = 12;
+        p.pointerChaseFraction = 0.3; p.branchFraction = 0.16;
+        p.branchPredictability = 0.82; p.meanDepDistance = 6;
+        p.codeFootprintKb = 4;
+        v.push_back(p);
+    }
+    {   // patricia: trie insertion, extreme pointer chasing -- one of
+        // the MiBench programs the paper flags as unusual.
+        auto p = intProgram("patricia", Suite::MiBench);
+        p.dataFootprintKb = 192; p.hotRegionKb = 12; p.probHot = 0.3;
+        p.pointerChaseFraction = 0.45; p.wLoad = 3.0;
+        p.branchFraction = 0.2; p.branchPredictability = 0.72;
+        p.meanDepDistance = 4; p.codeFootprintKb = 8;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("stringsearch", Suite::MiBench);
+        p.dataFootprintKb = 8; p.hotRegionKb = 4; p.probHot = 0.9;
+        p.branchFraction = 0.22; p.branchPredictability = 0.8;
+        p.meanDepDistance = 5; p.codeFootprintKb = 4;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("blowfish", Suite::MiBench);
+        p.wIntAlu = 5.0;
+        p.dataFootprintKb = 8; p.hotRegionKb = 4; p.probHot = 0.95;
+        p.branchFraction = 0.08; p.branchPredictability = 0.92;
+        p.meanDepDistance = 7; p.codeFootprintKb = 8;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("rijndael", Suite::MiBench);
+        p.wIntAlu = 5.0;
+        p.dataFootprintKb = 16; p.hotRegionKb = 8; p.probHot = 0.95;
+        p.branchFraction = 0.07; p.branchPredictability = 0.93;
+        p.meanDepDistance = 8; p.codeFootprintKb = 12;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("sha", Suite::MiBench);
+        p.wIntAlu = 5.0;
+        p.dataFootprintKb = 8; p.hotRegionKb = 4; p.probHot = 0.95;
+        p.branchFraction = 0.09; p.branchPredictability = 0.92;
+        p.meanDepDistance = 6; p.codeFootprintKb = 6;
+        v.push_back(p);
+    }
+    {   // crc32: one tiny loop.
+        auto p = intProgram("crc32", Suite::MiBench);
+        p.dataFootprintKb = 2; p.hotRegionKb = 1; p.probHot = 0.98;
+        p.probStream = 0.02;
+        p.branchFraction = 0.25; p.branchPredictability = 0.97;
+        p.meanDepDistance = 4; p.codeFootprintKb = 2;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("adpcm", Suite::MiBench);
+        p.dataFootprintKb = 4; p.hotRegionKb = 2; p.probHot = 0.95;
+        p.branchFraction = 0.18; p.branchPredictability = 0.88;
+        p.meanDepDistance = 4; p.codeFootprintKb = 3;
+        v.push_back(p);
+    }
+    {
+        auto p = fpProgram("fft", Suite::MiBench);
+        p.dataFootprintKb = 64; p.hotRegionKb = 24; p.probHot = 0.4;
+        p.probStream = 0.4; p.branchFraction = 0.07;
+        p.meanDepDistance = 14; p.codeFootprintKb = 8;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("gsm", Suite::MiBench);
+        p.wIntMul = 0.9;
+        p.dataFootprintKb = 32; p.hotRegionKb = 8;
+        p.branchFraction = 0.13; p.branchPredictability = 0.88;
+        p.meanDepDistance = 7; p.codeFootprintKb = 24;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("tiff2bw", Suite::MiBench);
+        p.dataFootprintKb = 320; p.hotRegionKb = 16; p.probHot = 0.15;
+        p.probStream = 0.7; p.numStreams = 3; p.strideBytes = 16;
+        p.wStore = 1.8; p.branchFraction = 0.1;
+        p.branchPredictability = 0.94; p.meanDepDistance = 12;
+        p.codeFootprintKb = 32;
+        v.push_back(p);
+    }
+    {   // tiff2rgba: store-dominated pixel expansion -- the other
+        // MiBench program the paper flags as unusual.
+        auto p = intProgram("tiff2rgba", Suite::MiBench);
+        p.dataFootprintKb = 768; p.hotRegionKb = 8; p.probHot = 0.1;
+        p.probStream = 0.8; p.numStreams = 2; p.strideBytes = 32;
+        p.wStore = 2.5; p.wLoad = 1.5; p.branchFraction = 0.08;
+        p.branchPredictability = 0.95; p.meanDepDistance = 14;
+        p.independentFraction = 0.35; p.codeFootprintKb = 32;
+        v.push_back(p);
+    }
+    {
+        auto p = intProgram("typeset", Suite::MiBench);
+        p.dataFootprintKb = 192; p.hotRegionKb = 48;
+        p.branchFraction = 0.17; p.branchPredictability = 0.82;
+        p.meanDepDistance = 7; p.codeFootprintKb = 256;
+        v.push_back(p);
+    }
+
+    ACDSE_ASSERT(v.size() == 19, "expected 19 MiBench programs");
+    return v;
+}
+
+} // namespace
+
+const std::vector<ProgramProfile> &
+specCpu2000Profiles()
+{
+    static const std::vector<ProgramProfile> suite = buildSpec();
+    return suite;
+}
+
+const std::vector<ProgramProfile> &
+miBenchProfiles()
+{
+    static const std::vector<ProgramProfile> suite = buildMiBench();
+    return suite;
+}
+
+const std::vector<ProgramProfile> &
+allProfiles()
+{
+    static const std::vector<ProgramProfile> all = [] {
+        std::vector<ProgramProfile> v = specCpu2000Profiles();
+        const auto &mb = miBenchProfiles();
+        v.insert(v.end(), mb.begin(), mb.end());
+        return v;
+    }();
+    return all;
+}
+
+const ProgramProfile &
+profileByName(const std::string &name)
+{
+    static const std::unordered_map<std::string, const ProgramProfile *>
+        index = [] {
+            std::unordered_map<std::string, const ProgramProfile *> m;
+            for (const auto &p : allProfiles())
+                m.emplace(p.name, &p);
+            return m;
+        }();
+    auto it = index.find(name);
+    if (it == index.end())
+        fatal("unknown benchmark '", name, "'");
+    return *it->second;
+}
+
+std::vector<std::string>
+programNames(Suite suite)
+{
+    std::vector<std::string> names;
+    for (const auto &p : allProfiles()) {
+        if (p.suite == suite)
+            names.push_back(p.name);
+    }
+    return names;
+}
+
+} // namespace acdse

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The benchmark suites used throughout the paper: SPEC CPU 2000 (26
+ * programs, Section 3.2) and MiBench (19 programs, ghostscript omitted
+ * as in the paper).
+ *
+ * Each program is realised as a calibrated ProgramProfile (see
+ * DESIGN.md Section 2 for the substitution rationale). The calibration
+ * goals, mirroring the paper's Section 4 analysis, are:
+ *  - wide per-program variation in how the design space looks;
+ *  - clusters of similar programs (integer/branchy, FP/streaming, ...);
+ *  - strong outliers: art (streaming FP that thrashes the caches) and
+ *    mcf (pointer-chasing, memory-latency-bound);
+ *  - a near-invariant program (parser) whose space varies only mildly;
+ *  - MiBench biased toward embedded behaviour (small footprints, high
+ *    branch density), with patricia and tiff2rgba deliberately unusual.
+ */
+
+#ifndef ACDSE_TRACE_SUITES_HH
+#define ACDSE_TRACE_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/program_profile.hh"
+
+namespace acdse
+{
+
+/** The 26 SPEC CPU 2000 program profiles. */
+const std::vector<ProgramProfile> &specCpu2000Profiles();
+
+/** The 19 MiBench program profiles (ghostscript omitted, as in paper). */
+const std::vector<ProgramProfile> &miBenchProfiles();
+
+/** Both suites concatenated (SPEC first). */
+const std::vector<ProgramProfile> &allProfiles();
+
+/** Look up a profile by benchmark name; panics if unknown. */
+const ProgramProfile &profileByName(const std::string &name);
+
+/** Names of all programs in a suite, in declaration order. */
+std::vector<std::string> programNames(Suite suite);
+
+} // namespace acdse
+
+#endif // ACDSE_TRACE_SUITES_HH

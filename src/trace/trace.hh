@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A dynamic-instruction trace plus cheap summary statistics.
+ */
+
+#ifndef ACDSE_TRACE_TRACE_HH
+#define ACDSE_TRACE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace acdse
+{
+
+/** Summary statistics of a trace (used by tests and the analytic model). */
+struct TraceStats
+{
+    std::array<double, kNumInstClasses> classFraction{}; //!< mix
+    double meanDepDistance = 0.0;   //!< mean producer distance (present ops)
+    double branchFraction = 0.0;    //!< fraction of branches
+    double takenFraction = 0.0;     //!< fraction of branches taken
+    std::uint64_t distinctLines = 0; //!< distinct 32B data lines touched
+    std::uint64_t distinctPcs = 0;   //!< distinct instruction addresses
+};
+
+/** An immutable dynamic-instruction trace for one program. */
+class Trace
+{
+  public:
+    /** Construct from a generated instruction stream. */
+    Trace(std::string name, std::vector<TraceInstruction> instructions);
+
+    /** Benchmark name this trace belongs to. */
+    const std::string &name() const { return name_; }
+
+    /** Number of dynamic instructions. */
+    std::size_t size() const { return instructions_.size(); }
+
+    /** Access one instruction. */
+    const TraceInstruction &operator[](std::size_t i) const
+    {
+        return instructions_[i];
+    }
+
+    /** The full instruction stream. */
+    const std::vector<TraceInstruction> &instructions() const
+    {
+        return instructions_;
+    }
+
+    /** Compute (and cache) summary statistics. */
+    const TraceStats &stats() const;
+
+  private:
+    std::string name_;
+    std::vector<TraceInstruction> instructions_;
+    mutable TraceStats stats_;
+    mutable bool statsValid_ = false;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_TRACE_TRACE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic synthetic-trace generation from a ProgramProfile.
+ *
+ * The generator builds a static control-flow graph (basic blocks sized
+ * so that one block-terminating branch per block yields the profile's
+ * branch fraction, spread over the profile's code footprint) and then
+ * walks it, emitting instructions whose classes, register dependences
+ * and memory addresses follow the profile's distributions. The walk is
+ * seeded from the profile, so the same (profile, length) pair always
+ * produces bit-identical traces.
+ */
+
+#ifndef ACDSE_TRACE_TRACE_GENERATOR_HH
+#define ACDSE_TRACE_TRACE_GENERATOR_HH
+
+#include <cstddef>
+
+#include "trace/program_profile.hh"
+#include "trace/trace.hh"
+
+namespace acdse
+{
+
+/** Generates deterministic traces for one program profile. */
+class TraceGenerator
+{
+  public:
+    /** Construct for a given profile. */
+    explicit TraceGenerator(ProgramProfile profile);
+
+    /** Generate a trace of @p length dynamic instructions. */
+    Trace generate(std::size_t length) const;
+
+    /** The profile this generator realises. */
+    const ProgramProfile &profile() const { return profile_; }
+
+  private:
+    ProgramProfile profile_;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_TRACE_TRACE_GENERATOR_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property tests for the Cacti-style array/cache estimator: the design
+ * space only needs the *shape* of these models (monotonic growth with
+ * size and ports, sensible latency bands), which is what we pin down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(Cacti, EnergyGrowsWithRows)
+{
+    const ArrayEstimate small = estimateArray(32, 64, 2, 1);
+    const ArrayEstimate large = estimateArray(160, 64, 2, 1);
+    EXPECT_LT(small.readEnergyNj, large.readEnergyNj);
+    EXPECT_LT(small.leakageNjPerCycle, large.leakageNjPerCycle);
+}
+
+TEST(Cacti, EnergyGrowsWithPorts)
+{
+    const ArrayEstimate few = estimateArray(96, 64, 2, 1);
+    const ArrayEstimate many = estimateArray(96, 64, 16, 8);
+    EXPECT_LT(few.readEnergyNj, many.readEnergyNj);
+    EXPECT_LT(few.leakageNjPerCycle, many.leakageNjPerCycle);
+}
+
+TEST(Cacti, WritesCostAtLeastReads)
+{
+    const ArrayEstimate e = estimateArray(64, 32, 4, 2);
+    EXPECT_GE(e.writeEnergyNj, e.readEnergyNj);
+}
+
+TEST(Cacti, CamSearchScalesWithEntries)
+{
+    const ArrayEstimate small = estimateCam(8, 16, 4);
+    const ArrayEstimate large = estimateCam(80, 16, 4);
+    EXPECT_LT(small.readEnergyNj, large.readEnergyNj);
+}
+
+/** L1 latencies must span the paper-era 2..4 cycle band. */
+class L1Latency : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(L1Latency, InBand)
+{
+    const int kb = GetParam();
+    const ArrayEstimate e = estimateCache(kb * 1024, 4, 32, 1);
+    EXPECT_GE(e.latencyCycles, 2) << kb << "KB";
+    EXPECT_LE(e.latencyCycles, 4) << kb << "KB";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, L1Latency,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+/** L2 latencies must span 6..14 cycles and grow with capacity. */
+TEST(Cacti, L2LatencyGrowsWithSize)
+{
+    int prev = 0;
+    for (int kb : {256, 512, 1024, 2048, 4096}) {
+        const ArrayEstimate e = estimateCache(kb * 1024, 8, 64, 2);
+        EXPECT_GE(e.latencyCycles, 6) << kb;
+        EXPECT_LE(e.latencyCycles, 14) << kb;
+        EXPECT_GE(e.latencyCycles, prev) << kb;
+        prev = e.latencyCycles;
+    }
+}
+
+TEST(Cacti, CacheEnergyGrowsWithSize)
+{
+    double prev = 0.0;
+    for (int kb : {8, 16, 32, 64, 128}) {
+        const ArrayEstimate e = estimateCache(kb * 1024, 4, 32, 1);
+        EXPECT_GT(e.readEnergyNj, prev) << kb;
+        prev = e.readEnergyNj;
+    }
+}
+
+TEST(Cacti, LeakageProportionalToCapacity)
+{
+    const ArrayEstimate a = estimateCache(256 * 1024, 8, 64, 2);
+    const ArrayEstimate b = estimateCache(1024 * 1024, 8, 64, 2);
+    EXPECT_NEAR(b.leakageNjPerCycle / a.leakageNjPerCycle, 4.0, 0.01);
+}
+
+TEST(Cacti, EnergiesAreNanojouleScale)
+{
+    // Keep the absolute calibration in a physically-plausible band so
+    // full-trace energies land in the uJ..mJ range the paper reports.
+    const ArrayEstimate rf = estimateArray(96, 64, 8, 4);
+    EXPECT_GT(rf.readEnergyNj, 0.001);
+    EXPECT_LT(rf.readEnergyNj, 2.0);
+    const ArrayEstimate l2 = estimateCache(2048 * 1024, 8, 64, 2);
+    EXPECT_GT(l2.readEnergyNj, 0.01);
+    EXPECT_LT(l2.readEnergyNj, 10.0);
+}
+
+TEST(CactiDeathTest, RejectsEmptyArray)
+{
+    EXPECT_DEATH(estimateArray(0, 64, 1, 1), "non-empty");
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit and property tests for the out-of-order core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/design_space.hh"
+#include "base/rng.hh"
+#include "sim/simulator.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace acdse
+{
+namespace
+{
+
+Trace
+makeTrace(const std::string &name, std::size_t length = 6000)
+{
+    return TraceGenerator(profileByName(name)).generate(length);
+}
+
+/** A fully independent, cache-resident integer trace (IPC stresser). */
+Trace
+idealTrace(std::size_t length)
+{
+    std::vector<TraceInstruction> insts(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        insts[i].pc = 0x400000 + 4 * (i % 64);
+        insts[i].cls = InstClass::IntAlu;
+    }
+    return Trace("ideal", std::move(insts));
+}
+
+TEST(OooCore, CommitsEveryInstruction)
+{
+    const Trace t = makeTrace("gzip");
+    EnergyModel energy(DesignSpace::baseline());
+    OooCore core(DesignSpace::baseline(), energy);
+    const CoreStats stats = core.run(t);
+    EXPECT_EQ(stats.instructions, t.size());
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(OooCore, IpcNeverExceedsWidth)
+{
+    for (int width : {2, 4, 8}) {
+        MicroarchConfig config = DesignSpace::baseline();
+        config.set(Param::Width, width);
+        EnergyModel energy(config);
+        OooCore core(config, energy);
+        const CoreStats stats = core.run(idealTrace(8000));
+        EXPECT_LE(stats.ipc(), static_cast<double>(width) + 1e-9);
+    }
+}
+
+TEST(OooCore, IndependentAluCodeApproachesWidth)
+{
+    // Ideal trace, 4-wide: the only limits are read ports (none: no
+    // sources) and the ALU pool; IPC should be close to the width.
+    MicroarchConfig config = DesignSpace::baseline();
+    EnergyModel energy(config);
+    OooCore core(config, energy);
+    const CoreStats stats = core.run(idealTrace(12000));
+    EXPECT_GT(stats.ipc(), 3.0);
+}
+
+TEST(OooCore, WiderIsFasterOnIlpRichCode)
+{
+    MicroarchConfig narrow = DesignSpace::baseline();
+    narrow.set(Param::Width, 2);
+    MicroarchConfig wide = DesignSpace::baseline();
+    wide.set(Param::Width, 8);
+    const Trace t = idealTrace(12000);
+    EnergyModel e1(narrow), e2(wide);
+    const CoreStats n = OooCore(narrow, e1).run(t);
+    const CoreStats w = OooCore(wide, e2).run(t);
+    EXPECT_LT(w.cycles, n.cycles);
+}
+
+TEST(OooCore, SerialChainBoundByLatency)
+{
+    // A strict dependence chain of 1-cycle ALU ops: one per cycle at
+    // best, whatever the machine width.
+    std::vector<TraceInstruction> insts(4000);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        insts[i].pc = 0x400000 + 4 * (i % 64);
+        insts[i].cls = InstClass::IntAlu;
+        insts[i].srcDist1 = i ? 1 : 0;
+    }
+    Trace t("chain", std::move(insts));
+    MicroarchConfig config = DesignSpace::baseline();
+    config.set(Param::Width, 8);
+    EnergyModel energy(config);
+    const CoreStats stats = OooCore(config, energy).run(t);
+    EXPECT_GE(stats.cycles, t.size());
+}
+
+TEST(OooCore, DeterministicAcrossRuns)
+{
+    const Trace t = makeTrace("twolf");
+    MicroarchConfig config = DesignSpace::baseline();
+    EnergyModel e1(config), e2(config);
+    const CoreStats a = OooCore(config, e1).run(t);
+    const CoreStats b = OooCore(config, e2).run(t);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_NEAR(e1.dynamicEnergyNj(), e2.dynamicEnergyNj(), 1e-9);
+}
+
+TEST(OooCore, BiggerDcacheClearlyReducesMisses)
+{
+    // vpr's hot region (32KB) thrashes an 8KB L1D but fits in 128KB.
+    const Trace t = makeTrace("vpr", 10000);
+    auto misses = [&](int kb) {
+        MicroarchConfig config = DesignSpace::baseline();
+        config.set(Param::Dl1Size, kb);
+        EnergyModel energy(config);
+        return OooCore(config, energy).run(t).dl1Misses;
+    };
+    EXPECT_LT(misses(128) * 3 / 2, misses(8));
+}
+
+TEST(OooCore, HardBranchesCostCycles)
+{
+    // Same structure, but one trace's branches are coin flips.
+    auto build = [](bool random) {
+        std::vector<TraceInstruction> insts;
+        Rng rng(55);
+        for (int i = 0; i < 3000; ++i) {
+            TraceInstruction inst{};
+            inst.pc = 0x400000 + 4 * (i % 512);
+            if (i % 8 == 7) {
+                inst.cls = InstClass::Branch;
+                inst.conditional = true;
+                inst.taken = random ? rng.nextBool(0.5) : true;
+                inst.target = 0x400000 + 4 * ((i + 1) % 512);
+            } else {
+                inst.cls = InstClass::IntAlu;
+            }
+            insts.push_back(inst);
+        }
+        return Trace(random ? "rand" : "easy", std::move(insts));
+    };
+    MicroarchConfig config = DesignSpace::baseline();
+    EnergyModel e1(config), e2(config);
+    const CoreStats easy = OooCore(config, e1).run(build(false));
+    const CoreStats hard = OooCore(config, e2).run(build(true));
+    EXPECT_GT(hard.mispredicts, easy.mispredicts + 100);
+    EXPECT_GT(hard.cycles, easy.cycles);
+}
+
+TEST(OooCore, MemoryBoundCodeIsSlow)
+{
+    const Trace fast = makeTrace("crc32", 8000);
+    const Trace slow = makeTrace("mcf", 8000);
+    MicroarchConfig config = DesignSpace::baseline();
+    EnergyModel e1(config), e2(config);
+    const CoreStats f = OooCore(config, e1).run(fast);
+    const CoreStats s = OooCore(config, e2).run(slow);
+    EXPECT_GT(f.ipc(), 2.0 * s.ipc());
+}
+
+TEST(OooCore, IntervalRunsPartition)
+{
+    const Trace t = makeTrace("gap", 6000);
+    MicroarchConfig config = DesignSpace::baseline();
+    EnergyModel energy(config);
+    OooCore core(config, energy);
+    const CoreStats first = core.run(t, 0, 3000);
+    const CoreStats second = core.run(t, 3000, 6000);
+    EXPECT_EQ(first.instructions + second.instructions, 6000u);
+}
+
+TEST(OooCore, WarmupReducesTimedMisses)
+{
+    const Trace t = makeTrace("galgel", 12000);
+    SimulationOptions cold;
+    SimulationOptions warm;
+    warm.warmupInstructions = 6000;
+    const SimulationResult c = simulate(DesignSpace::baseline(), t, cold);
+    const SimulationResult w = simulate(DesignSpace::baseline(), t, warm);
+    // The warmed run times fewer instructions but its per-instruction
+    // miss rate must be no higher.
+    const double cold_rate =
+        static_cast<double>(c.stats.dl1Misses) / c.stats.instructions;
+    const double warm_rate =
+        static_cast<double>(w.stats.dl1Misses) / w.stats.instructions;
+    EXPECT_LE(warm_rate, cold_rate * 1.05);
+}
+
+TEST(OooCore, TinyRegisterFileStallsDispatch)
+{
+    MicroarchConfig big = DesignSpace::baseline();
+    big.set(Param::RfSize, 160);
+    MicroarchConfig tiny = DesignSpace::baseline();
+    tiny.set(Param::RfSize, 40);
+    const Trace t = makeTrace("swim", 8000);
+    EnergyModel e1(big), e2(tiny);
+    const CoreStats b = OooCore(big, e1).run(t);
+    const CoreStats s = OooCore(tiny, e2).run(t);
+    EXPECT_GT(s.dispatchStallRegs, b.dispatchStallRegs);
+    EXPECT_GT(s.cycles, b.cycles);
+}
+
+/** Simulation must complete for any valid configuration. */
+class AnyConfigRuns : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AnyConfigRuns, CompletesAndIsSane)
+{
+    Rng rng(GetParam());
+    const MicroarchConfig config = DesignSpace::sampleValid(rng);
+    const Trace t = makeTrace("eon", 4000);
+    const SimulationResult r = simulate(config, t);
+    EXPECT_EQ(r.stats.instructions, 4000u);
+    EXPECT_GT(r.metrics.cycles, 0.0);
+    EXPECT_GT(r.metrics.energyNj, 0.0);
+    EXPECT_GT(r.metrics.ed, 0.0);
+    EXPECT_LE(r.stats.ipc(), static_cast<double>(config.width()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, AnyConfigRuns,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+} // namespace
+} // namespace acdse

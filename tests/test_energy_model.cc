@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for Wattch-style energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/design_space.hh"
+#include "sim/energy.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(EnergyModel, EventAccountingIsLinear)
+{
+    EnergyModel energy(DesignSpace::baseline());
+    EXPECT_DOUBLE_EQ(energy.dynamicEnergyNj(), 0.0);
+    energy.add(EnergyEvent::RfRead, 10);
+    const double ten = energy.dynamicEnergyNj();
+    energy.add(EnergyEvent::RfRead, 10);
+    EXPECT_NEAR(energy.dynamicEnergyNj(), 2.0 * ten, 1e-12);
+    EXPECT_EQ(energy.count(EnergyEvent::RfRead), 20u);
+}
+
+TEST(EnergyModel, TotalIsDynamicPlusStatic)
+{
+    EnergyModel energy(DesignSpace::baseline());
+    energy.add(EnergyEvent::FuIntAlu, 100);
+    const double total = energy.totalEnergyNj(1000);
+    EXPECT_NEAR(total,
+                energy.dynamicEnergyNj() + energy.staticEnergyNj(1000),
+                1e-12);
+    EXPECT_GT(energy.staticEnergyNj(1000), 0.0);
+}
+
+TEST(EnergyModel, ResetClearsCounts)
+{
+    EnergyModel energy(DesignSpace::baseline());
+    energy.add(EnergyEvent::L2Access, 5);
+    energy.resetCounts();
+    EXPECT_DOUBLE_EQ(energy.dynamicEnergyNj(), 0.0);
+    EXPECT_EQ(energy.count(EnergyEvent::L2Access), 0u);
+}
+
+TEST(EnergyModel, BiggerL2LeaksMore)
+{
+    MicroarchConfig small = DesignSpace::baseline();
+    small.set(Param::L2Size, 256);
+    MicroarchConfig large = DesignSpace::baseline();
+    large.set(Param::L2Size, 4096);
+    EXPECT_LT(EnergyModel(small).leakagePerCycleNj(),
+              EnergyModel(large).leakagePerCycleNj());
+}
+
+TEST(EnergyModel, WiderMachineBurnsMorePerCycle)
+{
+    MicroarchConfig narrow = DesignSpace::baseline();
+    narrow.set(Param::Width, 2);
+    MicroarchConfig wide = DesignSpace::baseline();
+    wide.set(Param::Width, 8);
+    EXPECT_LT(EnergyModel(narrow).clockPerCycleNj(),
+              EnergyModel(wide).clockPerCycleNj());
+}
+
+TEST(EnergyModel, MorePortsCostMorePerAccess)
+{
+    MicroarchConfig few = DesignSpace::baseline();
+    few.set(Param::RfReadPorts, 2);
+    few.set(Param::RfWritePorts, 1);
+    MicroarchConfig many = DesignSpace::baseline();
+    many.set(Param::RfReadPorts, 16);
+    many.set(Param::RfWritePorts, 8);
+    EXPECT_LT(EnergyModel(few).costNj(EnergyEvent::RfRead),
+              EnergyModel(many).costNj(EnergyEvent::RfRead));
+}
+
+TEST(EnergyModel, FpDivIsTheMostExpensiveFu)
+{
+    const EnergyModel energy(DesignSpace::baseline());
+    EXPECT_GT(energy.costNj(EnergyEvent::FuFpDiv),
+              energy.costNj(EnergyEvent::FuFpMul));
+    EXPECT_GT(energy.costNj(EnergyEvent::FuFpMul),
+              energy.costNj(EnergyEvent::FuIntAlu));
+}
+
+TEST(EnergyModel, MemAccessDwarfsL1Access)
+{
+    const EnergyModel energy(DesignSpace::baseline());
+    EXPECT_GT(energy.costNj(EnergyEvent::MemAccess),
+              10.0 * energy.costNj(EnergyEvent::Dl1Access));
+}
+
+TEST(EnergyModel, BreakdownSharesSumToOne)
+{
+    EnergyModel energy(DesignSpace::baseline());
+    energy.add(EnergyEvent::RfRead, 1000);
+    energy.add(EnergyEvent::Dl1Access, 500);
+    const auto entries = energy.breakdown(10000);
+    double total_share = 0.0;
+    double total_energy = 0.0;
+    for (const auto &e : entries) {
+        total_share += e.share;
+        total_energy += e.energyNj;
+    }
+    EXPECT_NEAR(total_share, 1.0, 1e-9);
+    EXPECT_NEAR(total_energy, energy.totalEnergyNj(10000), 1e-9);
+    // Sorted largest-first.
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        EXPECT_GE(entries[i - 1].energyNj, entries[i].energyNj);
+}
+
+TEST(EnergyModel, BreakdownContainsStaticCategories)
+{
+    EnergyModel energy(DesignSpace::baseline());
+    const auto entries = energy.breakdown(100);
+    bool leak = false, clock = false;
+    for (const auto &e : entries) {
+        leak |= std::string(e.name) == "leakage";
+        clock |= std::string(e.name) == "clock+idle";
+    }
+    EXPECT_TRUE(leak);
+    EXPECT_TRUE(clock);
+}
+
+/** Every event has a positive cost and a printable name. */
+class AllEnergyEvents : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(AllEnergyEvents, PositiveCostAndName)
+{
+    const EnergyModel energy(DesignSpace::baseline());
+    const auto event = static_cast<EnergyEvent>(GetParam());
+    EXPECT_GT(energy.costNj(event), 0.0);
+    EXPECT_NE(energyEventName(event), nullptr);
+    EXPECT_GT(std::string(energyEventName(event)).size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Events, AllEnergyEvents,
+                         ::testing::Range<std::size_t>(
+                             0, kNumEnergyEvents));
+
+} // namespace
+} // namespace acdse

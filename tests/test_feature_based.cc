@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the feature-based (zero-response) trans-program
+ * predictor and the program feature vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/design_space.hh"
+#include "base/statistics.hh"
+#include "core/feature_based_predictor.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace acdse
+{
+namespace
+{
+
+std::vector<double>
+features(const std::string &name)
+{
+    return programFeatureVector(
+        TraceGenerator(profileByName(name)).generate(8000));
+}
+
+TEST(ProgramFeatures, DeterministicAndFinite)
+{
+    const auto a = features("gzip");
+    const auto b = features("gzip");
+    EXPECT_EQ(a, b);
+    for (double v : a)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ProgramFeatures, SimilarProgramsCloserThanDissimilar)
+{
+    // Two crypto kernels (blowfish, rijndael: ALU-heavy, tiny
+    // footprints) must be closer to each other than to a streaming FP
+    // program (swim).
+    const auto blowfish = features("blowfish");
+    const auto rijndael = features("rijndael");
+    const auto swim = features("swim");
+    EXPECT_LT(stats::euclideanDistance(blowfish, rijndael),
+              stats::euclideanDistance(blowfish, swim));
+}
+
+TEST(ProgramFeatures, MixSumsToOne)
+{
+    const auto f = features("applu");
+    double mix = 0.0;
+    for (std::size_t c = 0; c < kNumInstClasses; ++c)
+        mix += f[c];
+    EXPECT_NEAR(mix, 1.0, 1e-9);
+}
+
+/** Synthetic spaces so tests need no simulator. */
+double
+syntheticSpace(const MicroarchConfig &config, double scale)
+{
+    return scale * (1000.0 + 50000.0 / config.width() +
+                    3000.0 / std::sqrt(static_cast<double>(
+                                 config.robSize())));
+}
+
+TEST(FeatureBasedPredictor, InterpolatesBetweenNeighbours)
+{
+    const auto configs = DesignSpace::sampleValidConfigs(128, 21);
+    // Three "programs" whose features are 1-D points and whose spaces
+    // scale with that point.
+    std::vector<FeatureTrainingSet> sets(3);
+    const double coords[3] = {0.0, 1.0, 10.0};
+    for (int j = 0; j < 3; ++j) {
+        sets[j].name = "p" + std::to_string(j);
+        sets[j].configs = configs;
+        sets[j].features = {coords[j]};
+        for (const auto &c : configs)
+            sets[j].values.push_back(
+                syntheticSpace(c, 1.0 + coords[j]));
+    }
+    FeatureBasedPredictor model;
+    model.trainOffline(sets);
+
+    // Target near program 1: weights should concentrate there.
+    model.setTargetFeatures({1.05});
+    EXPECT_GT(model.weights()[1], model.weights()[0]);
+    EXPECT_GT(model.weights()[1], model.weights()[2]);
+
+    // Prediction tracks program 1's space.
+    const MicroarchConfig probe = DesignSpace::baseline();
+    EXPECT_NEAR(model.predict(probe), syntheticSpace(probe, 2.0),
+                0.25 * syntheticSpace(probe, 2.0));
+}
+
+TEST(FeatureBasedPredictor, WeightsSumToOne)
+{
+    const auto configs = DesignSpace::sampleValidConfigs(64, 22);
+    std::vector<FeatureTrainingSet> sets(4);
+    for (int j = 0; j < 4; ++j) {
+        sets[j].name = "p" + std::to_string(j);
+        sets[j].configs = configs;
+        sets[j].features = {static_cast<double>(j), 1.0};
+        for (const auto &c : configs)
+            sets[j].values.push_back(syntheticSpace(c, 1.0 + j));
+    }
+    FeatureBasedPredictor model;
+    model.trainOffline(sets);
+    model.setTargetFeatures({1.7, 1.0});
+    double total = 0.0;
+    for (double w : model.weights())
+        total += w;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FeatureBasedPredictor, BandwidthControlsSharpness)
+{
+    const auto configs = DesignSpace::sampleValidConfigs(64, 23);
+    std::vector<FeatureTrainingSet> sets(2);
+    for (int j = 0; j < 2; ++j) {
+        sets[j].name = "p" + std::to_string(j);
+        sets[j].configs = configs;
+        sets[j].features = {static_cast<double>(j)};
+        for (const auto &c : configs)
+            sets[j].values.push_back(syntheticSpace(c, 1.0 + j));
+    }
+    FeatureBasedOptions sharp, broad;
+    sharp.bandwidth = 0.2;
+    broad.bandwidth = 5.0;
+    FeatureBasedPredictor a(sharp), b(broad);
+    a.trainOffline(sets);
+    b.trainOffline(sets);
+    a.setTargetFeatures({0.2});
+    b.setTargetFeatures({0.2});
+    // The sharp kernel concentrates more mass on the nearer program.
+    EXPECT_GT(a.weights()[0], b.weights()[0]);
+}
+
+TEST(FeatureBasedPredictorDeathTest, TargetBeforeTrain)
+{
+    FeatureBasedPredictor model;
+    EXPECT_DEATH(model.setTargetFeatures({1.0}), "before trainOffline");
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the first-order analytic model (ablation baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/design_space.hh"
+#include "base/statistics.hh"
+#include "sim/first_order.hh"
+#include "sim/simulator.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(FirstOrder, ProducesPositiveComponents)
+{
+    const Trace t = TraceGenerator(profileByName("gzip")).generate(6000);
+    const FirstOrderResult r =
+        firstOrderEstimate(DesignSpace::baseline(), t);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.ipcSteadyState, 0.0);
+    EXPECT_GE(r.branchPenalty, 0.0);
+    EXPECT_GE(r.memoryPenalty, 0.0);
+    EXPECT_GE(r.cycles, static_cast<double>(t.size()) /
+                            DesignSpace::baseline().width());
+}
+
+TEST(FirstOrder, MemoryBoundProgramDominatedByMemoryPenalty)
+{
+    const Trace t = TraceGenerator(profileByName("mcf")).generate(8000);
+    const FirstOrderResult r =
+        firstOrderEstimate(DesignSpace::baseline(), t);
+    EXPECT_GT(r.memoryPenalty, r.branchPenalty);
+    EXPECT_GT(r.memoryPenalty,
+              static_cast<double>(t.size()) / r.ipcSteadyState);
+}
+
+TEST(FirstOrder, WiderMachineNeverSlower)
+{
+    const Trace t = TraceGenerator(profileByName("swim")).generate(6000);
+    MicroarchConfig narrow = DesignSpace::baseline();
+    narrow.set(Param::Width, 2);
+    MicroarchConfig wide = DesignSpace::baseline();
+    wide.set(Param::Width, 8);
+    EXPECT_GE(firstOrderEstimate(narrow, t).cycles,
+              firstOrderEstimate(wide, t).cycles);
+}
+
+TEST(FirstOrder, BiggerDcacheReducesPredictedCycles)
+{
+    // Only the L1D varies: a bigger L2 also gets *slower* in the Cacti
+    // model, so the clean monotone lever is the L1.
+    const Trace t = TraceGenerator(profileByName("vpr")).generate(8000);
+    MicroarchConfig small = DesignSpace::baseline();
+    small.set(Param::Dl1Size, 8);
+    MicroarchConfig big = DesignSpace::baseline();
+    big.set(Param::Dl1Size, 128);
+    EXPECT_GT(firstOrderEstimate(small, t).cycles,
+              firstOrderEstimate(big, t).cycles);
+}
+
+TEST(FirstOrder, CorrelatesWithCycleLevelModel)
+{
+    // The analytic model is cruder than the cycle-level pipeline, but
+    // over a set of configurations it must track the same trend.
+    const Trace t = TraceGenerator(profileByName("gzip")).generate(8000);
+    const auto configs = DesignSpace::sampleValidConfigs(12, 2024);
+    std::vector<double> analytic, simulated;
+    for (const auto &config : configs) {
+        analytic.push_back(firstOrderEstimate(config, t).cycles);
+        simulated.push_back(simulate(config, t).metrics.cycles);
+    }
+    EXPECT_GT(stats::correlation(analytic, simulated), 0.4);
+}
+
+} // namespace
+} // namespace acdse

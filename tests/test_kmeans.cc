@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for k-means clustering (SimPoint's workhorse).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "ml/kmeans.hh"
+
+namespace acdse
+{
+namespace
+{
+
+std::vector<std::vector<double>>
+blobs(const std::vector<std::vector<double>> &centers, int per_blob,
+      std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> points;
+    for (const auto &center : centers) {
+        for (int i = 0; i < per_blob; ++i) {
+            std::vector<double> p = center;
+            for (double &v : p)
+                v += 0.1 * rng.nextGaussian();
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+TEST(Kmeans, RecoversSeparatedBlobs)
+{
+    const auto points =
+        blobs({{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 40, 1);
+    const KmeansResult result = kmeans(points, 3, 42);
+    // All points of a blob share one cluster id.
+    for (int blob = 0; blob < 3; ++blob) {
+        const std::size_t expected = result.assignment[blob * 40];
+        for (int i = 0; i < 40; ++i)
+            EXPECT_EQ(result.assignment[blob * 40 + i], expected);
+    }
+    // And the three blobs get three distinct ids.
+    EXPECT_NE(result.assignment[0], result.assignment[40]);
+    EXPECT_NE(result.assignment[40], result.assignment[80]);
+}
+
+TEST(Kmeans, InertiaDecreasesWithK)
+{
+    const auto points = blobs({{0, 0}, {5, 5}, {10, 0}, {0, 10}}, 30, 2);
+    double prev = 1e300;
+    for (std::size_t k : {1u, 2u, 4u}) {
+        const KmeansResult result = kmeans(points, k, 7);
+        EXPECT_LE(result.inertia, prev + 1e-9) << "k=" << k;
+        prev = result.inertia;
+    }
+}
+
+TEST(Kmeans, KClampedToPointCount)
+{
+    const std::vector<std::vector<double>> points{{1.0}, {2.0}};
+    const KmeansResult result = kmeans(points, 10, 3);
+    EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(Kmeans, SinglePoint)
+{
+    const std::vector<std::vector<double>> points{{3.0, 4.0}};
+    const KmeansResult result = kmeans(points, 1, 5);
+    EXPECT_EQ(result.assignment[0], 0u);
+    EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(Kmeans, DeterministicForFixedSeed)
+{
+    const auto points = blobs({{0, 0}, {8, 8}}, 50, 9);
+    const KmeansResult a = kmeans(points, 2, 11);
+    const KmeansResult b = kmeans(points, 2, 11);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(Kmeans, CentroidsNearBlobMeans)
+{
+    const auto points = blobs({{0.0, 0.0}, {10.0, 10.0}}, 100, 13);
+    const KmeansResult result = kmeans(points, 2, 17);
+    // One centroid near each blob center.
+    bool near_origin = false, near_far = false;
+    for (const auto &c : result.centroids) {
+        if (std::abs(c[0]) < 0.5 && std::abs(c[1]) < 0.5)
+            near_origin = true;
+        if (std::abs(c[0] - 10.0) < 0.5 && std::abs(c[1] - 10.0) < 0.5)
+            near_far = true;
+    }
+    EXPECT_TRUE(near_origin);
+    EXPECT_TRUE(near_far);
+}
+
+TEST(KmeansDeathTest, EmptyInput)
+{
+    std::vector<std::vector<double>> empty;
+    EXPECT_DEATH(kmeans(empty, 2, 1), "no points");
+}
+
+} // namespace
+} // namespace acdse

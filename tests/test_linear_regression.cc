@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for ridge-regularised linear least squares (the response
+ * regressor of the architecture-centric model, paper eq. (3)-(5)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "ml/linear_regression.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(LinearRegression, RecoversExactLinearModel)
+{
+    // y = 2 + 3a - b, no noise -> exact recovery.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    Rng rng(1);
+    for (int i = 0; i < 40; ++i) {
+        const double a = rng.nextDouble(-5, 5);
+        const double b = rng.nextDouble(-5, 5);
+        xs.push_back({a, b});
+        ys.push_back(2.0 + 3.0 * a - b);
+    }
+    LinearRegression model;
+    model.fit(xs, ys, /*ridge=*/0.0);
+    EXPECT_NEAR(model.intercept(), 2.0, 1e-9);
+    EXPECT_NEAR(model.weights()[0], 3.0, 1e-9);
+    EXPECT_NEAR(model.weights()[1], -1.0, 1e-9);
+    EXPECT_NEAR(model.predict({1.0, 1.0}), 4.0, 1e-9);
+}
+
+TEST(LinearRegression, PaperFigure8Example)
+{
+    // The paper's Fig. 8 line: y = 0.59 + 0.21 x (their five-point
+    // example rounded to two decimals). We check the regression machinery
+    // on a comparable tiny problem.
+    const std::vector<std::vector<double>> xs{{1}, {2}, {3}, {4}, {5}};
+    const std::vector<double> ys{0.8, 1.0, 1.2, 1.4, 1.6};
+    LinearRegression model;
+    model.fit(xs, ys, 0.0);
+    EXPECT_NEAR(model.intercept(), 0.6, 1e-9);
+    EXPECT_NEAR(model.weights()[0], 0.2, 1e-9);
+}
+
+TEST(LinearRegression, WithoutInterceptGoesThroughOrigin)
+{
+    const std::vector<std::vector<double>> xs{{1}, {2}, {4}};
+    const std::vector<double> ys{2, 4, 8};
+    LinearRegression model;
+    model.fit(xs, ys, 0.0, /*intercept=*/false);
+    EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+    EXPECT_NEAR(model.weights()[0], 2.0, 1e-9);
+}
+
+TEST(LinearRegression, RidgeShrinksWeights)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.nextGaussian();
+        xs.push_back({a});
+        ys.push_back(5.0 * a + 0.1 * rng.nextGaussian());
+    }
+    LinearRegression plain, shrunk;
+    plain.fit(xs, ys, 0.0);
+    shrunk.fit(xs, ys, 1.0);
+    EXPECT_LT(std::abs(shrunk.weights()[0]),
+              std::abs(plain.weights()[0]));
+}
+
+TEST(LinearRegression, HandlesCollinearFeatures)
+{
+    // Second feature is an exact copy: rank-deficient without ridge.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    Rng rng(11);
+    for (int i = 0; i < 25; ++i) {
+        const double a = rng.nextDouble(-1, 1);
+        xs.push_back({a, a});
+        ys.push_back(4.0 * a);
+    }
+    LinearRegression model;
+    model.fit(xs, ys, 1e-8);
+    ASSERT_TRUE(model.fitted());
+    // Whatever the weight split, predictions must be right.
+    EXPECT_NEAR(model.predict({0.5, 0.5}), 2.0, 1e-3);
+}
+
+TEST(LinearRegression, MoreFeaturesThanSamplesStillSolves)
+{
+    // The architecture-centric regime: 25 features, sometimes fewer
+    // responses than that.
+    Rng rng(13);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 10; ++i) {
+        std::vector<double> x(25);
+        for (auto &v : x)
+            v = rng.nextGaussian();
+        ys.push_back(x[0] + 0.5 * x[1]);
+        xs.push_back(std::move(x));
+    }
+    LinearRegression model;
+    model.fit(xs, ys, 1e-3);
+    ASSERT_TRUE(model.fitted());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(model.predict(xs[i]), ys[i], 0.5);
+}
+
+TEST(LinearRegression, NoisyFitBeatsMeanBaseline)
+{
+    Rng rng(17);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.nextDouble(0, 10);
+        xs.push_back({a});
+        ys.push_back(3.0 * a + rng.nextGaussian());
+    }
+    LinearRegression model;
+    model.fit(xs, ys, 1e-6);
+    double sse_model = 0.0, sse_mean = 0.0;
+    const double mean = [&] {
+        double total = 0.0;
+        for (double y : ys)
+            total += y;
+        return total / static_cast<double>(ys.size());
+    }();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sse_model += std::pow(model.predict(xs[i]) - ys[i], 2);
+        sse_mean += std::pow(mean - ys[i], 2);
+    }
+    EXPECT_LT(sse_model, 0.05 * sse_mean);
+}
+
+TEST(LinearRegressionDeathTest, PredictBeforeFit)
+{
+    LinearRegression model;
+    EXPECT_DEATH(model.predict({1.0}), "before fit");
+}
+
+} // namespace
+} // namespace acdse

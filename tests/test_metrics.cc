@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the cycles/energy/ED/EDD metric bundle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(Metrics, ProductsFromCyclesAndEnergy)
+{
+    const Metrics m = Metrics::fromCyclesEnergy(100.0, 5.0);
+    EXPECT_DOUBLE_EQ(m.cycles, 100.0);
+    EXPECT_DOUBLE_EQ(m.energyNj, 5.0);
+    EXPECT_DOUBLE_EQ(m.ed, 500.0);
+    EXPECT_DOUBLE_EQ(m.edd, 50000.0);
+}
+
+TEST(Metrics, GetMatchesFields)
+{
+    const Metrics m = Metrics::fromCyclesEnergy(7.0, 3.0);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Cycles), m.cycles);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Energy), m.energyNj);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Ed), m.ed);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Edd), m.edd);
+}
+
+TEST(Metrics, ScalingIsLinearInInstructions)
+{
+    // 16k instructions -> 10M instructions: cycles and energy scale by
+    // 625, ED by 625^2, EDD by 625^3.
+    const Metrics m = Metrics::fromCyclesEnergy(32000.0, 16000.0);
+    const Metrics scaled = m.scaledToInstructions(16000.0, 10e6);
+    const double f = 625.0;
+    EXPECT_DOUBLE_EQ(scaled.cycles, 32000.0 * f);
+    EXPECT_DOUBLE_EQ(scaled.energyNj, 16000.0 * f);
+    EXPECT_DOUBLE_EQ(scaled.ed, 32000.0 * 16000.0 * f * f);
+    EXPECT_DOUBLE_EQ(scaled.edd,
+                     16000.0 * 32000.0 * 32000.0 * f * f * f);
+}
+
+TEST(Metrics, ScalingIdentity)
+{
+    const Metrics m = Metrics::fromCyclesEnergy(123.0, 456.0);
+    const Metrics same = m.scaledToInstructions(1000.0, 1000.0);
+    EXPECT_DOUBLE_EQ(same.cycles, m.cycles);
+    EXPECT_DOUBLE_EQ(same.edd, m.edd);
+}
+
+TEST(Metrics, NamesAndEnumeration)
+{
+    EXPECT_STREQ(metricName(Metric::Cycles), "cycles");
+    EXPECT_STREQ(metricName(Metric::Energy), "energy");
+    EXPECT_STREQ(metricName(Metric::Ed), "ED");
+    EXPECT_STREQ(metricName(Metric::Edd), "EDD");
+    EXPECT_EQ(kAllMetrics.size(), 4u);
+}
+
+/** Lower is better for every metric: ED/EDD inherit monotonicity. */
+TEST(Metrics, FasterSameEnergyImprovesProducts)
+{
+    const Metrics slow = Metrics::fromCyclesEnergy(200.0, 10.0);
+    const Metrics fast = Metrics::fromCyclesEnergy(100.0, 10.0);
+    EXPECT_LT(fast.ed, slow.ed);
+    EXPECT_LT(fast.edd, slow.edd);
+}
+
+TEST(Metrics, EddEmphasisesPerformanceOverEnergy)
+{
+    // Config A: half the delay, double the energy of config B. ED ties;
+    // EDD must prefer the faster one (paper Section 3.2).
+    const Metrics a = Metrics::fromCyclesEnergy(100.0, 20.0);
+    const Metrics b = Metrics::fromCyclesEnergy(200.0, 10.0);
+    EXPECT_DOUBLE_EQ(a.ed, b.ed);
+    EXPECT_LT(a.edd, b.edd);
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the multilayer perceptron (paper Section 5.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "ml/mlp.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(Mlp, FitsLinearFunction)
+{
+    Rng rng(1);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.nextDouble(-2, 2);
+        const double b = rng.nextDouble(-2, 2);
+        xs.push_back({a, b});
+        ys.push_back(3.0 * a - 2.0 * b + 1.0);
+    }
+    Mlp mlp;
+    mlp.train(xs, ys);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        max_err = std::max(max_err,
+                           std::abs(mlp.predict(xs[i]) - ys[i]));
+    }
+    EXPECT_LT(max_err, 0.6);
+}
+
+TEST(Mlp, FitsSmoothNonlinearFunction)
+{
+    Rng rng(2);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.nextDouble(-1.5, 1.5);
+        xs.push_back({a});
+        ys.push_back(std::sin(2.0 * a) + 0.5 * a * a);
+    }
+    MlpOptions options;
+    options.epochs = 600;
+    Mlp mlp(options);
+    mlp.train(xs, ys);
+    double sse = 0.0, var = 0.0;
+    double mean = 0.0;
+    for (double y : ys)
+        mean += y;
+    mean /= static_cast<double>(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sse += std::pow(mlp.predict(xs[i]) - ys[i], 2);
+        var += std::pow(ys[i] - mean, 2);
+    }
+    EXPECT_LT(sse / var, 0.05); // explains > 95% of the variance
+}
+
+TEST(Mlp, InterpolatesUnseenPoints)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 300; ++i) {
+        const double a = rng.nextDouble(0, 1);
+        const double b = rng.nextDouble(0, 1);
+        xs.push_back({a, b});
+        ys.push_back(a * b + a);
+    }
+    Mlp mlp;
+    mlp.train(xs, ys);
+    // Held-out grid points.
+    double max_err = 0.0;
+    for (double a : {0.25, 0.5, 0.75}) {
+        for (double b : {0.25, 0.5, 0.75}) {
+            max_err = std::max(
+                max_err, std::abs(mlp.predict({a, b}) - (a * b + a)));
+        }
+    }
+    EXPECT_LT(max_err, 0.15);
+}
+
+TEST(Mlp, DeterministicForFixedSeed)
+{
+    Rng rng(4);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back({rng.nextDouble(0, 1)});
+        ys.push_back(xs.back()[0] * 2.0);
+    }
+    Mlp a, b;
+    a.train(xs, ys);
+    b.train(xs, ys);
+    for (double probe : {0.1, 0.4, 0.9})
+        EXPECT_DOUBLE_EQ(a.predict({probe}), b.predict({probe}));
+}
+
+TEST(Mlp, DifferentSeedsDifferentNetworks)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back({rng.nextDouble(0, 1)});
+        ys.push_back(std::sin(xs.back()[0] * 6.0));
+    }
+    MlpOptions oa, ob;
+    oa.seed = 1;
+    ob.seed = 2;
+    Mlp a(oa), b(ob);
+    a.train(xs, ys);
+    b.train(xs, ys);
+    EXPECT_NE(a.predict({0.37}), b.predict({0.37}));
+}
+
+TEST(Mlp, HandlesWideTargetScale)
+{
+    // Targets in the 1e7 range (cycles-like): the internal target
+    // scaler must cope.
+    Rng rng(6);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.nextDouble(0, 1);
+        xs.push_back({a});
+        ys.push_back(1e7 * (1.0 + a));
+    }
+    Mlp mlp;
+    mlp.train(xs, ys);
+    EXPECT_NEAR(mlp.predict({0.5}), 1.5e7, 0.1e7);
+}
+
+TEST(Mlp, PaperArchitectureDefaults)
+{
+    // "a multilayer perceptron with one hidden layer of 10 neurons"
+    // (Section 5.2).
+    const Mlp mlp;
+    EXPECT_EQ(mlp.options().hiddenNeurons, 10);
+}
+
+TEST(MlpDeathTest, PredictBeforeTrain)
+{
+    Mlp mlp;
+    EXPECT_DEATH(mlp.predict({1.0}), "before train");
+}
+
+TEST(MlpDeathTest, MismatchedSizes)
+{
+    Mlp mlp;
+    std::vector<std::vector<double>> xs{{1.0}};
+    std::vector<double> ys{1.0, 2.0};
+    EXPECT_DEATH(mlp.train(xs, ys), "mismatch");
+}
+
+} // namespace
+} // namespace acdse

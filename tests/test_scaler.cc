@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for feature/target standardisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "base/statistics.hh"
+#include "ml/scaler.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(StandardScaler, TransformsToZeroMeanUnitVariance)
+{
+    Rng rng(1);
+    std::vector<std::vector<double>> samples;
+    for (int i = 0; i < 500; ++i) {
+        samples.push_back(
+            {rng.nextDouble(10, 20), rng.nextGaussian() * 100.0});
+    }
+    StandardScaler scaler;
+    scaler.fit(samples);
+    std::vector<double> c0, c1;
+    for (const auto &s : samples) {
+        const auto z = scaler.transform(s);
+        c0.push_back(z[0]);
+        c1.push_back(z[1]);
+    }
+    EXPECT_NEAR(stats::mean(c0), 0.0, 1e-9);
+    EXPECT_NEAR(stats::stddev(c0), 1.0, 1e-9);
+    EXPECT_NEAR(stats::mean(c1), 0.0, 1e-9);
+    EXPECT_NEAR(stats::stddev(c1), 1.0, 1e-9);
+}
+
+TEST(StandardScaler, ConstantColumnLeftFinite)
+{
+    const std::vector<std::vector<double>> samples{{5.0}, {5.0}, {5.0}};
+    StandardScaler scaler;
+    scaler.fit(samples);
+    const auto z = scaler.transform({5.0});
+    EXPECT_DOUBLE_EQ(z[0], 0.0);
+    const auto z2 = scaler.transform({6.0});
+    EXPECT_TRUE(std::isfinite(z2[0]));
+}
+
+TEST(StandardScaler, FittedFlagAndDims)
+{
+    StandardScaler scaler;
+    EXPECT_FALSE(scaler.fitted());
+    scaler.fit({{1.0, 2.0, 3.0}});
+    EXPECT_TRUE(scaler.fitted());
+    EXPECT_EQ(scaler.dims(), 3u);
+}
+
+TEST(TargetScaler, RoundTrips)
+{
+    TargetScaler scaler;
+    scaler.fit({10.0, 20.0, 30.0});
+    for (double y : {5.0, 17.3, 42.0})
+        EXPECT_NEAR(scaler.unscale(scaler.scale(y)), y, 1e-12);
+}
+
+TEST(TargetScaler, CentersTrainingData)
+{
+    TargetScaler scaler;
+    scaler.fit({10.0, 20.0, 30.0});
+    EXPECT_NEAR(scaler.scale(20.0), 0.0, 1e-12);
+    EXPECT_GT(scaler.scale(30.0), 0.0);
+    EXPECT_LT(scaler.scale(10.0), 0.0);
+}
+
+TEST(StandardScalerDeathTest, DimensionMismatch)
+{
+    StandardScaler scaler;
+    scaler.fit({{1.0, 2.0}});
+    EXPECT_DEATH(scaler.transform({1.0}), "mismatch");
+}
+
+} // namespace
+} // namespace acdse

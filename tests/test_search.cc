@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for predictor-guided design-space search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "arch/design_space.hh"
+#include "core/search.hh"
+
+namespace acdse
+{
+namespace
+{
+
+/** A smooth objective with a known optimum (max width, max ROB...). */
+double
+knownObjective(const MicroarchConfig &config)
+{
+    // Minimised by width=8, rob=160, l2=4096, bpred=32.
+    return 1000.0 / config.width() + 10000.0 / config.robSize() +
+           4000.0 / std::log2(static_cast<double>(config.l2Bytes())) +
+           300.0 / std::log2(static_cast<double>(config.bpredEntries()));
+}
+
+TEST(Search, NeighboursDifferInOneParameter)
+{
+    const MicroarchConfig base = DesignSpace::baseline();
+    const auto neighbours = validNeighbours(base);
+    EXPECT_GE(neighbours.size(), 10u);
+    for (const auto &n : neighbours) {
+        EXPECT_TRUE(DesignSpace::isValid(n));
+        int diffs = 0;
+        for (std::size_t i = 0; i < kNumParams; ++i)
+            diffs += n.raw()[i] != base.raw()[i];
+        EXPECT_EQ(diffs, 1);
+    }
+}
+
+TEST(Search, NeighboursRespectValueBounds)
+{
+    // A corner configuration (everything at minimum) has only upward
+    // neighbours.
+    std::array<int, kNumParams> values;
+    for (std::size_t i = 0; i < kNumParams; ++i)
+        values[i] = paramSpecs()[i].min();
+    const MicroarchConfig corner{values};
+    ASSERT_TRUE(DesignSpace::isValid(corner));
+    for (const auto &n : validNeighbours(corner)) {
+        for (std::size_t i = 0; i < kNumParams; ++i)
+            EXPECT_GE(n.raw()[i], corner.raw()[i]);
+    }
+}
+
+TEST(Search, FindsKnownOptimumRegion)
+{
+    SearchOptions options;
+    options.sweepSize = 512;
+    options.keepTop = 4;
+    const auto best = findBestPredicted(knownObjective, options);
+    ASSERT_FALSE(best.empty());
+    // Hill climbing on a monotone objective must land on the corner.
+    EXPECT_EQ(best.front().config.width(), 8);
+    EXPECT_EQ(best.front().config.robSize(), 160);
+    EXPECT_EQ(best.front().config.get(Param::L2Size), 4096);
+}
+
+TEST(Search, ResultsSortedAndDistinct)
+{
+    SearchOptions options;
+    options.sweepSize = 256;
+    options.keepTop = 8;
+    const auto best = findBestPredicted(knownObjective, options);
+    for (std::size_t i = 1; i < best.size(); ++i) {
+        EXPECT_LE(best[i - 1].predicted, best[i].predicted);
+        EXPECT_NE(best[i - 1].config.key(), best[i].config.key());
+    }
+}
+
+TEST(Search, ClimbingImprovesOnSweep)
+{
+    // The best climbed score can never be worse than the best sweep
+    // score (climbing starts from it).
+    SearchOptions options;
+    options.sweepSize = 128;
+    options.keepTop = 2;
+    options.maxClimbSteps = 0; // sweep only
+    const auto sweep_only = findBestPredicted(knownObjective, options);
+    options.maxClimbSteps = 64;
+    const auto climbed = findBestPredicted(knownObjective, options);
+    EXPECT_LE(climbed.front().predicted, sweep_only.front().predicted);
+}
+
+TEST(Search, DeterministicForFixedSeed)
+{
+    SearchOptions options;
+    options.sweepSize = 128;
+    const auto a = findBestPredicted(knownObjective, options);
+    const auto b = findBestPredicted(knownObjective, options);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.front().config, b.front().config);
+}
+
+TEST(Search, ParetoFrontierIsNonDominated)
+{
+    // Two conflicting objectives: performance wants width, "energy"
+    // penalises it.
+    auto perf = [](const MicroarchConfig &c) {
+        return 100.0 / c.width() + 2000.0 / c.robSize();
+    };
+    auto energy = [](const MicroarchConfig &c) {
+        return 10.0 * c.width() +
+               0.001 * static_cast<double>(c.l2Bytes()) / 1024.0;
+    };
+    const auto frontier = predictedParetoFrontier(perf, energy, 1024);
+    ASSERT_GE(frontier.size(), 2u);
+    // Along the frontier, objective A rises implies B falls.
+    double prev_a = -std::numeric_limits<double>::infinity();
+    double prev_b = std::numeric_limits<double>::infinity();
+    for (const auto &config : frontier) {
+        const double a = perf(config);
+        const double b = energy(config);
+        EXPECT_GE(a, prev_a);
+        EXPECT_LT(b, prev_b);
+        prev_a = a;
+        prev_b = b;
+    }
+    // The extremes of the frontier differ in width.
+    EXPECT_GT(frontier.front().width(), frontier.back().width());
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics (rmae and correlation are the
+ * paper's two quality measures, so they get exact-value checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/statistics.hh"
+
+namespace acdse
+{
+namespace
+{
+
+using stats::RunningStats;
+
+TEST(Statistics, MeanAndVariance)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(stats::variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stats::stddev(xs), 2.0);
+}
+
+TEST(Statistics, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+    const std::vector<double> one{3.0};
+    EXPECT_DOUBLE_EQ(stats::mean(one), 3.0);
+    EXPECT_DOUBLE_EQ(stats::variance(one), 0.0);
+}
+
+TEST(Statistics, PerfectPositiveCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{10, 20, 30, 40, 50};
+    EXPECT_NEAR(stats::correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Statistics, PerfectNegativeCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{8, 6, 4, 2};
+    EXPECT_NEAR(stats::correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Statistics, ConstantSeriesHasZeroCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3};
+    const std::vector<double> ys{5, 5, 5};
+    EXPECT_DOUBLE_EQ(stats::correlation(xs, ys), 0.0);
+}
+
+TEST(Statistics, CorrelationIsScaleInvariant)
+{
+    Rng rng(5);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(rng.nextGaussian());
+        ys.push_back(0.7 * xs.back() + 0.3 * rng.nextGaussian());
+    }
+    const double base = stats::correlation(xs, ys);
+    std::vector<double> scaled = ys;
+    for (double &y : scaled)
+        y = 1000.0 + 42.0 * y;
+    EXPECT_NEAR(stats::correlation(xs, scaled), base, 1e-9);
+}
+
+TEST(Statistics, RmaeExactValue)
+{
+    // |110-100|/100 and |90-100|/100 -> both 10%.
+    const std::vector<double> pred{110.0, 90.0};
+    const std::vector<double> actual{100.0, 100.0};
+    EXPECT_DOUBLE_EQ(stats::rmae(pred, actual), 10.0);
+}
+
+TEST(Statistics, RmaeSkipsZeroActuals)
+{
+    const std::vector<double> pred{5.0, 110.0};
+    const std::vector<double> actual{0.0, 100.0};
+    EXPECT_DOUBLE_EQ(stats::rmae(pred, actual), 10.0);
+}
+
+TEST(Statistics, RmaeDoublingIsHundredPercent)
+{
+    // "an rmae of 100 percent would mean the model predicts a value
+    //  double the actual value" (paper Section 6.1).
+    const std::vector<double> pred{200.0};
+    const std::vector<double> actual{100.0};
+    EXPECT_DOUBLE_EQ(stats::rmae(pred, actual), 100.0);
+}
+
+TEST(Statistics, QuantilesAndFiveNumber)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 9.0);
+    const auto s = stats::fiveNumberSummary(xs);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.q25, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.q75, 7.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Statistics, QuantileInterpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.25), 2.5);
+}
+
+TEST(Statistics, QuantileUnsortedInput)
+{
+    const std::vector<double> xs{9, 1, 5, 3, 7};
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 5.0);
+}
+
+TEST(Statistics, RunningMatchesBatch)
+{
+    Rng rng(77);
+    std::vector<double> xs;
+    RunningStats running;
+    for (int i = 0; i < 1000; ++i) {
+        xs.push_back(rng.nextDouble(-5.0, 12.0));
+        running.add(xs.back());
+    }
+    EXPECT_NEAR(running.mean(), stats::mean(xs), 1e-9);
+    EXPECT_NEAR(running.variance(), stats::variance(xs), 1e-9);
+    EXPECT_DOUBLE_EQ(running.min(),
+                     *std::min_element(xs.begin(), xs.end()));
+    EXPECT_DOUBLE_EQ(running.max(),
+                     *std::max_element(xs.begin(), xs.end()));
+    EXPECT_EQ(running.count(), xs.size());
+}
+
+TEST(Statistics, EuclideanDistance)
+{
+    const std::vector<double> a{0.0, 3.0};
+    const std::vector<double> b{4.0, 0.0};
+    EXPECT_DOUBLE_EQ(stats::euclideanDistance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(stats::euclideanDistance(a, a), 0.0);
+}
+
+/** Covariance of independent standard samples is near zero. */
+TEST(Statistics, IndependentSamplesUncorrelated)
+{
+    Rng rng(123);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.nextGaussian());
+        ys.push_back(rng.nextGaussian());
+    }
+    EXPECT_NEAR(stats::correlation(xs, ys), 0.0, 0.03);
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Calibration property tests for the benchmark-suite profiles: the
+ * qualitative relationships the paper's analysis depends on must be
+ * built into the profiles (DESIGN.md Section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/parameter.hh"
+#include "trace/suites.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(SuiteCalibration, ArtAndMcfExceedEveryL2)
+{
+    // The paper's two outliers must be able to defeat the largest L2
+    // in the design space (4MB).
+    const int max_l2_kb = paramSpec(Param::L2Size).max();
+    EXPECT_GT(profileByName("art").dataFootprintKb, max_l2_kb * 0.75);
+    EXPECT_GT(profileByName("mcf").dataFootprintKb, max_l2_kb * 0.5);
+}
+
+TEST(SuiteCalibration, McfIsThePointerChaser)
+{
+    const double mcf = profileByName("mcf").pointerChaseFraction;
+    EXPECT_GT(mcf, 0.25);
+    for (const char *name : {"gzip", "swim", "art", "crafty"})
+        EXPECT_LT(profileByName(name).pointerChaseFraction, mcf)
+            << name;
+}
+
+TEST(SuiteCalibration, ParserIsSmallAndSerial)
+{
+    // parser's space varies only slightly (paper Section 4.1): small,
+    // cache-resident working set and short dependence chains.
+    const ProgramProfile &p = profileByName("parser");
+    EXPECT_LE(p.dataFootprintKb, 32.0);
+    EXPECT_LE(p.meanDepDistance, 5.0);
+    // Its hot region fits even the smallest L1D (8KB) after halving.
+    EXPECT_LE(p.hotRegionKb, 16.0);
+}
+
+TEST(SuiteCalibration, FpProgramsHaveMoreIlpThanIntPrograms)
+{
+    double fp_total = 0.0, int_total = 0.0;
+    int fp_n = 0, int_n = 0;
+    for (const auto &p : specCpu2000Profiles()) {
+        if (p.wFpAlu > 0.5) {
+            fp_total += p.meanDepDistance;
+            ++fp_n;
+        } else {
+            int_total += p.meanDepDistance;
+            ++int_n;
+        }
+    }
+    ASSERT_GT(fp_n, 5);
+    ASSERT_GT(int_n, 5);
+    EXPECT_GT(fp_total / fp_n, int_total / int_n + 3.0);
+}
+
+TEST(SuiteCalibration, MiBenchIsEmbeddedScale)
+{
+    // MiBench code and data footprints must be smaller on average than
+    // SPEC's (embedded programs).
+    auto means = [](Suite suite) {
+        double code = 0.0, data = 0.0;
+        int n = 0;
+        for (const auto &p : allProfiles()) {
+            if (p.suite != suite)
+                continue;
+            code += p.codeFootprintKb;
+            data += p.dataFootprintKb;
+            ++n;
+        }
+        return std::pair<double, double>{code / n, data / n};
+    };
+    const auto spec = means(Suite::SpecCpu2000);
+    const auto mibench = means(Suite::MiBench);
+    EXPECT_LT(mibench.first, spec.first);
+    EXPECT_LT(mibench.second, spec.second);
+}
+
+TEST(SuiteCalibration, CodeHeavyProgramsStressTheIcacheRange)
+{
+    // gcc/vortex must exceed the largest L1I (128KB); small kernels
+    // must fit the smallest (8KB).
+    const int max_il1 = paramSpec(Param::Il1Size).max();
+    EXPECT_GT(profileByName("gcc").codeFootprintKb, max_il1);
+    EXPECT_GT(profileByName("vortex").codeFootprintKb, max_il1);
+    EXPECT_LE(profileByName("crc32").codeFootprintKb, 8.0);
+    EXPECT_LE(profileByName("adpcm").codeFootprintKb, 8.0);
+}
+
+TEST(SuiteCalibration, BranchPredictabilitySpansEasyToHard)
+{
+    // crafty and qsort are the hard-branch programs; crc32/swim easy.
+    EXPECT_LT(profileByName("crafty").branchPredictability, 0.8);
+    EXPECT_LT(profileByName("qsort").branchPredictability, 0.75);
+    EXPECT_GT(profileByName("crc32").branchPredictability, 0.95);
+    EXPECT_GT(profileByName("swim").branchPredictability, 0.95);
+}
+
+TEST(SuiteCalibration, EveryProfileIsInternallyConsistent)
+{
+    for (const auto &p : allProfiles()) {
+        EXPECT_GT(p.branchFraction, 0.0) << p.name;
+        EXPECT_LT(p.branchFraction, 0.5) << p.name;
+        EXPECT_GE(p.hotRegionKb, 1.0) << p.name;
+        EXPECT_LE(p.hotRegionKb, p.dataFootprintKb) << p.name;
+        EXPECT_GE(p.probHot, 0.0) << p.name;
+        EXPECT_LE(p.probHot, 1.0) << p.name;
+        // probHot and probStream are sequential thresholds in the
+        // generator (the stream share is min(probStream, 1 - probHot)),
+        // so a slight overshoot only truncates the stream share.
+        EXPECT_LE(p.probHot + p.probStream, 1.0 + 1e-9) << p.name;
+        EXPECT_GE(p.meanDepDistance, 1.0) << p.name;
+        EXPECT_NE(p.seed, 0u) << p.name;
+    }
+}
+
+TEST(SuiteCalibration, SeedsAreUniquePerProgram)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : allProfiles())
+        EXPECT_TRUE(seeds.insert(p.seed).second) << p.name;
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the aligned table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/table.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every line must start the second column at the same offset.
+    std::istringstream lines(out);
+    std::string header, rule, row1, row2;
+    std::getline(lines, header);
+    std::getline(lines, rule);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(static_cast<long long>(1234567)), "1234567");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, RejectsWrongWidth)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Smoke test for the public umbrella header: everything a downstream
+ * user needs must be reachable through acdse.hh alone, and a minimal
+ * end-to-end flow must work with only its declarations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "acdse.hh"
+
+namespace acdse
+{
+namespace
+{
+
+TEST(Umbrella, MinimalEndToEndThroughPublicApi)
+{
+    // Design space.
+    const MicroarchConfig baseline = DesignSpace::baseline();
+    ASSERT_TRUE(DesignSpace::isValid(baseline));
+
+    // Workload.
+    const Trace trace =
+        TraceGenerator(profileByName("sha")).generate(2000);
+
+    // Simulation.
+    const SimulationResult result = simulate(baseline, trace);
+    EXPECT_GT(result.metrics.cycles, 0.0);
+
+    // A program-specific model over a few simulated points.
+    const auto configs = DesignSpace::sampleValidConfigs(24, 5);
+    std::vector<double> values;
+    for (const auto &config : configs)
+        values.push_back(simulate(config, trace).metrics.cycles);
+    ProgramSpecificPredictor model;
+    model.train(configs, values);
+    EXPECT_GT(model.predict(baseline), 0.0);
+
+    // Search over the predictor.
+    SearchOptions options;
+    options.sweepSize = 64;
+    options.keepTop = 2;
+    options.maxClimbSteps = 4;
+    const auto found = findBestPredicted(
+        [&](const MicroarchConfig &c) { return model.predict(c); },
+        options);
+    EXPECT_FALSE(found.empty());
+}
+
+TEST(Umbrella, MetricsAndStatsAreVisible)
+{
+    const Metrics m = Metrics::fromCyclesEnergy(10.0, 2.0);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Ed), 20.0);
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 2.0);
+}
+
+} // namespace
+} // namespace acdse
