@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_based.dir/bench_feature_based.cc.o"
+  "CMakeFiles/bench_feature_based.dir/bench_feature_based.cc.o.d"
+  "bench_feature_based"
+  "bench_feature_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

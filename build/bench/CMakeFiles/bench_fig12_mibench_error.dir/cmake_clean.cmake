@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mibench_error.dir/bench_fig12_mibench_error.cc.o"
+  "CMakeFiles/bench_fig12_mibench_error.dir/bench_fig12_mibench_error.cc.o.d"
+  "bench_fig12_mibench_error"
+  "bench_fig12_mibench_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mibench_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

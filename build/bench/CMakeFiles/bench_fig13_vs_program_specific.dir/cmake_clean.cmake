@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vs_program_specific.dir/bench_fig13_vs_program_specific.cc.o"
+  "CMakeFiles/bench_fig13_vs_program_specific.dir/bench_fig13_vs_program_specific.cc.o.d"
+  "bench_fig13_vs_program_specific"
+  "bench_fig13_vs_program_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vs_program_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_training_programs.dir/bench_fig14_training_programs.cc.o"
+  "CMakeFiles/bench_fig14_training_programs.dir/bench_fig14_training_programs.cc.o.d"
+  "bench_fig14_training_programs"
+  "bench_fig14_training_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_training_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_families.dir/bench_model_families.cc.o"
+  "CMakeFiles/bench_model_families.dir/bench_model_families.cc.o.d"
+  "bench_model_families"
+  "bench_model_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

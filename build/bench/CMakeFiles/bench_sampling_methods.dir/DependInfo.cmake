@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sampling_methods.cc" "bench/CMakeFiles/bench_sampling_methods.dir/bench_sampling_methods.cc.o" "gcc" "bench/CMakeFiles/bench_sampling_methods.dir/bench_sampling_methods.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acdse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/acdse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acdse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

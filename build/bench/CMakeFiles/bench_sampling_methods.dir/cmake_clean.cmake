@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_methods.dir/bench_sampling_methods.cc.o"
+  "CMakeFiles/bench_sampling_methods.dir/bench_sampling_methods.cc.o.d"
+  "bench_sampling_methods"
+  "bench_sampling_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

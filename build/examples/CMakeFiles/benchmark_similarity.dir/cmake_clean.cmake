@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_similarity.dir/benchmark_similarity.cpp.o"
+  "CMakeFiles/benchmark_similarity.dir/benchmark_similarity.cpp.o.d"
+  "benchmark_similarity"
+  "benchmark_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_suite_prediction.dir/cross_suite_prediction.cpp.o"
+  "CMakeFiles/cross_suite_prediction.dir/cross_suite_prediction.cpp.o.d"
+  "cross_suite_prediction"
+  "cross_suite_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_suite_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_frontier.dir/pareto_frontier.cpp.o"
+  "CMakeFiles/pareto_frontier.dir/pareto_frontier.cpp.o.d"
+  "pareto_frontier"
+  "pareto_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/design_space.cc" "src/arch/CMakeFiles/acdse_arch.dir/design_space.cc.o" "gcc" "src/arch/CMakeFiles/acdse_arch.dir/design_space.cc.o.d"
+  "/root/repo/src/arch/microarch_config.cc" "src/arch/CMakeFiles/acdse_arch.dir/microarch_config.cc.o" "gcc" "src/arch/CMakeFiles/acdse_arch.dir/microarch_config.cc.o.d"
+  "/root/repo/src/arch/parameter.cc" "src/arch/CMakeFiles/acdse_arch.dir/parameter.cc.o" "gcc" "src/arch/CMakeFiles/acdse_arch.dir/parameter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_arch.dir/design_space.cc.o"
+  "CMakeFiles/acdse_arch.dir/design_space.cc.o.d"
+  "CMakeFiles/acdse_arch.dir/microarch_config.cc.o"
+  "CMakeFiles/acdse_arch.dir/microarch_config.cc.o.d"
+  "CMakeFiles/acdse_arch.dir/parameter.cc.o"
+  "CMakeFiles/acdse_arch.dir/parameter.cc.o.d"
+  "libacdse_arch.a"
+  "libacdse_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

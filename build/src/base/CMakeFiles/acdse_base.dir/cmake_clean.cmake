@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_base.dir/csv.cc.o"
+  "CMakeFiles/acdse_base.dir/csv.cc.o.d"
+  "CMakeFiles/acdse_base.dir/rng.cc.o"
+  "CMakeFiles/acdse_base.dir/rng.cc.o.d"
+  "CMakeFiles/acdse_base.dir/statistics.cc.o"
+  "CMakeFiles/acdse_base.dir/statistics.cc.o.d"
+  "CMakeFiles/acdse_base.dir/table.cc.o"
+  "CMakeFiles/acdse_base.dir/table.cc.o.d"
+  "libacdse_base.a"
+  "libacdse_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

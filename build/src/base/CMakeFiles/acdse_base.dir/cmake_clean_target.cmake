@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacdse_base.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/architecture_centric_predictor.cc" "src/core/CMakeFiles/acdse_core.dir/architecture_centric_predictor.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/architecture_centric_predictor.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/acdse_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/characterisation.cc" "src/core/CMakeFiles/acdse_core.dir/characterisation.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/characterisation.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/acdse_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/feature_based_predictor.cc" "src/core/CMakeFiles/acdse_core.dir/feature_based_predictor.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/feature_based_predictor.cc.o.d"
+  "/root/repo/src/core/program_specific_predictor.cc" "src/core/CMakeFiles/acdse_core.dir/program_specific_predictor.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/program_specific_predictor.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/acdse_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/acdse_core.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/acdse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acdse_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_core.dir/architecture_centric_predictor.cc.o"
+  "CMakeFiles/acdse_core.dir/architecture_centric_predictor.cc.o.d"
+  "CMakeFiles/acdse_core.dir/campaign.cc.o"
+  "CMakeFiles/acdse_core.dir/campaign.cc.o.d"
+  "CMakeFiles/acdse_core.dir/characterisation.cc.o"
+  "CMakeFiles/acdse_core.dir/characterisation.cc.o.d"
+  "CMakeFiles/acdse_core.dir/evaluation.cc.o"
+  "CMakeFiles/acdse_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/acdse_core.dir/feature_based_predictor.cc.o"
+  "CMakeFiles/acdse_core.dir/feature_based_predictor.cc.o.d"
+  "CMakeFiles/acdse_core.dir/program_specific_predictor.cc.o"
+  "CMakeFiles/acdse_core.dir/program_specific_predictor.cc.o.d"
+  "CMakeFiles/acdse_core.dir/search.cc.o"
+  "CMakeFiles/acdse_core.dir/search.cc.o.d"
+  "libacdse_core.a"
+  "libacdse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/hierarchical.cc" "src/ml/CMakeFiles/acdse_ml.dir/hierarchical.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/hierarchical.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/acdse_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/acdse_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/acdse_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/acdse_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/rbf.cc" "src/ml/CMakeFiles/acdse_ml.dir/rbf.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/rbf.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/acdse_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/spline.cc" "src/ml/CMakeFiles/acdse_ml.dir/spline.cc.o" "gcc" "src/ml/CMakeFiles/acdse_ml.dir/spline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

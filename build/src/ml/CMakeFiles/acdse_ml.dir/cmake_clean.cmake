@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_ml.dir/hierarchical.cc.o"
+  "CMakeFiles/acdse_ml.dir/hierarchical.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/kmeans.cc.o"
+  "CMakeFiles/acdse_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/acdse_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/matrix.cc.o"
+  "CMakeFiles/acdse_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/mlp.cc.o"
+  "CMakeFiles/acdse_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/rbf.cc.o"
+  "CMakeFiles/acdse_ml.dir/rbf.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/scaler.cc.o"
+  "CMakeFiles/acdse_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/acdse_ml.dir/spline.cc.o"
+  "CMakeFiles/acdse_ml.dir/spline.cc.o.d"
+  "libacdse_ml.a"
+  "libacdse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

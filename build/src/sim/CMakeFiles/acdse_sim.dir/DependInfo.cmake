@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cc" "src/sim/CMakeFiles/acdse_sim.dir/branch_predictor.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/acdse_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cacti.cc" "src/sim/CMakeFiles/acdse_sim.dir/cacti.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/cacti.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/acdse_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/acdse_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/first_order.cc" "src/sim/CMakeFiles/acdse_sim.dir/first_order.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/first_order.cc.o.d"
+  "/root/repo/src/sim/sampled_sim.cc" "src/sim/CMakeFiles/acdse_sim.dir/sampled_sim.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/sampled_sim.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/acdse_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/acdse_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/acdse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acdse_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_sim.dir/branch_predictor.cc.o"
+  "CMakeFiles/acdse_sim.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/cache.cc.o"
+  "CMakeFiles/acdse_sim.dir/cache.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/cacti.cc.o"
+  "CMakeFiles/acdse_sim.dir/cacti.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/core.cc.o"
+  "CMakeFiles/acdse_sim.dir/core.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/energy.cc.o"
+  "CMakeFiles/acdse_sim.dir/energy.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/first_order.cc.o"
+  "CMakeFiles/acdse_sim.dir/first_order.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/sampled_sim.cc.o"
+  "CMakeFiles/acdse_sim.dir/sampled_sim.cc.o.d"
+  "CMakeFiles/acdse_sim.dir/simulator.cc.o"
+  "CMakeFiles/acdse_sim.dir/simulator.cc.o.d"
+  "libacdse_sim.a"
+  "libacdse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

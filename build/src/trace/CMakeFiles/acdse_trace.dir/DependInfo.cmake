@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/simpoint.cc" "src/trace/CMakeFiles/acdse_trace.dir/simpoint.cc.o" "gcc" "src/trace/CMakeFiles/acdse_trace.dir/simpoint.cc.o.d"
+  "/root/repo/src/trace/suites.cc" "src/trace/CMakeFiles/acdse_trace.dir/suites.cc.o" "gcc" "src/trace/CMakeFiles/acdse_trace.dir/suites.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/acdse_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/acdse_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_generator.cc" "src/trace/CMakeFiles/acdse_trace.dir/trace_generator.cc.o" "gcc" "src/trace/CMakeFiles/acdse_trace.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acdse_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdse_trace.dir/simpoint.cc.o"
+  "CMakeFiles/acdse_trace.dir/simpoint.cc.o.d"
+  "CMakeFiles/acdse_trace.dir/suites.cc.o"
+  "CMakeFiles/acdse_trace.dir/suites.cc.o.d"
+  "CMakeFiles/acdse_trace.dir/trace.cc.o"
+  "CMakeFiles/acdse_trace.dir/trace.cc.o.d"
+  "CMakeFiles/acdse_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/acdse_trace.dir/trace_generator.cc.o.d"
+  "libacdse_trace.a"
+  "libacdse_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdse_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

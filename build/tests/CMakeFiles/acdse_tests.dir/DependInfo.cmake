@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/acdse_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/acdse_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cacti.cc" "tests/CMakeFiles/acdse_tests.dir/test_cacti.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_cacti.cc.o.d"
+  "/root/repo/tests/test_campaign.cc" "tests/CMakeFiles/acdse_tests.dir/test_campaign.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_campaign.cc.o.d"
+  "/root/repo/tests/test_characterisation.cc" "tests/CMakeFiles/acdse_tests.dir/test_characterisation.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_characterisation.cc.o.d"
+  "/root/repo/tests/test_core_sim.cc" "tests/CMakeFiles/acdse_tests.dir/test_core_sim.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_core_sim.cc.o.d"
+  "/root/repo/tests/test_csv.cc" "tests/CMakeFiles/acdse_tests.dir/test_csv.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_csv.cc.o.d"
+  "/root/repo/tests/test_design_space.cc" "tests/CMakeFiles/acdse_tests.dir/test_design_space.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_design_space.cc.o.d"
+  "/root/repo/tests/test_energy_model.cc" "tests/CMakeFiles/acdse_tests.dir/test_energy_model.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_energy_model.cc.o.d"
+  "/root/repo/tests/test_evaluation.cc" "tests/CMakeFiles/acdse_tests.dir/test_evaluation.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_evaluation.cc.o.d"
+  "/root/repo/tests/test_feature_based.cc" "tests/CMakeFiles/acdse_tests.dir/test_feature_based.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_feature_based.cc.o.d"
+  "/root/repo/tests/test_first_order.cc" "tests/CMakeFiles/acdse_tests.dir/test_first_order.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_first_order.cc.o.d"
+  "/root/repo/tests/test_hierarchical.cc" "tests/CMakeFiles/acdse_tests.dir/test_hierarchical.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_hierarchical.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/acdse_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/acdse_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_linear_regression.cc" "tests/CMakeFiles/acdse_tests.dir/test_linear_regression.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_linear_regression.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/acdse_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/acdse_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mlp.cc" "tests/CMakeFiles/acdse_tests.dir/test_mlp.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_mlp.cc.o.d"
+  "/root/repo/tests/test_parameter.cc" "tests/CMakeFiles/acdse_tests.dir/test_parameter.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_parameter.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/acdse_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_rbf_spline.cc" "tests/CMakeFiles/acdse_tests.dir/test_rbf_spline.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_rbf_spline.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/acdse_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sampled_sim.cc" "tests/CMakeFiles/acdse_tests.dir/test_sampled_sim.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_sampled_sim.cc.o.d"
+  "/root/repo/tests/test_scaler.cc" "tests/CMakeFiles/acdse_tests.dir/test_scaler.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_scaler.cc.o.d"
+  "/root/repo/tests/test_search.cc" "tests/CMakeFiles/acdse_tests.dir/test_search.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_search.cc.o.d"
+  "/root/repo/tests/test_simpoint.cc" "tests/CMakeFiles/acdse_tests.dir/test_simpoint.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_simpoint.cc.o.d"
+  "/root/repo/tests/test_statistics.cc" "tests/CMakeFiles/acdse_tests.dir/test_statistics.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_statistics.cc.o.d"
+  "/root/repo/tests/test_suites_calibration.cc" "tests/CMakeFiles/acdse_tests.dir/test_suites_calibration.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_suites_calibration.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/acdse_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_trace_generator.cc" "tests/CMakeFiles/acdse_tests.dir/test_trace_generator.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_trace_generator.cc.o.d"
+  "/root/repo/tests/test_umbrella.cc" "tests/CMakeFiles/acdse_tests.dir/test_umbrella.cc.o" "gcc" "tests/CMakeFiles/acdse_tests.dir/test_umbrella.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acdse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/acdse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acdse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/acdse_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
