@@ -51,4 +51,8 @@
 #include "core/program_specific_predictor.hh"
 #include "core/search.hh"
 
+// Model persistence and prediction serving.
+#include "serve/model_store.hh"
+#include "serve/prediction_service.hh"
+
 #endif // ACDSE_ACDSE_HH

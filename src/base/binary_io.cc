@@ -1,0 +1,144 @@
+#include "base/binary_io.hh"
+
+#include <cstring>
+
+namespace acdse
+{
+
+namespace
+{
+
+/** Hard cap on length prefixes: a corrupt length must not OOM us. */
+constexpr std::uint64_t kMaxLength = 1ull << 32;
+
+} // namespace
+
+void
+BinaryWriter::u8(std::uint8_t value)
+{
+    buffer_.push_back(static_cast<char>(value));
+}
+
+void
+BinaryWriter::u32(std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+BinaryWriter::u64(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+BinaryWriter::f64(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+BinaryWriter::str(const std::string &value)
+{
+    u64(value.size());
+    buffer_.append(value);
+}
+
+void
+BinaryWriter::f64vec(const std::vector<double> &values)
+{
+    u64(values.size());
+    for (double v : values)
+        f64(v);
+}
+
+const char *
+BinaryReader::take(std::size_t count)
+{
+    if (count > remaining())
+        throw SerializationError("truncated input: wanted " +
+                                 std::to_string(count) + " bytes, have " +
+                                 std::to_string(remaining()));
+    const char *out = data_.data() + pos_;
+    pos_ += count;
+    return out;
+}
+
+std::uint8_t
+BinaryReader::u8()
+{
+    return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint32_t
+BinaryReader::u32()
+{
+    const char *bytes = take(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+BinaryReader::u64()
+{
+    const char *bytes = take(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+double
+BinaryReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::string
+BinaryReader::str()
+{
+    const std::uint64_t size = u64();
+    if (size > kMaxLength)
+        throw SerializationError("implausible string length");
+    return std::string(take(static_cast<std::size_t>(size)),
+                       static_cast<std::size_t>(size));
+}
+
+std::vector<double>
+BinaryReader::f64vec()
+{
+    const std::uint64_t size = u64();
+    if (size > kMaxLength / sizeof(double))
+        throw SerializationError("implausible vector length");
+    std::vector<double> values(static_cast<std::size_t>(size));
+    for (auto &v : values)
+        v = f64();
+    return values;
+}
+
+std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace acdse

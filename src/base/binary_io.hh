@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Little-endian binary encoding for model persistence.
+ *
+ * BinaryWriter serialises into an in-memory buffer; BinaryReader
+ * decodes from one. Fixed-width integers and raw IEEE-754 doubles give
+ * bit-exact round trips, which the serving subsystem relies on: a
+ * predictor loaded from an artifact must produce predictions identical
+ * to the freshly-trained one.
+ *
+ * Errors while *decoding* (truncated buffer, absurd lengths) throw
+ * SerializationError rather than panic(): corrupt input files are a
+ * caller problem, and a long-running prediction server must be able to
+ * reject a bad artifact without dying.
+ */
+
+#ifndef ACDSE_BASE_BINARY_IO_HH
+#define ACDSE_BASE_BINARY_IO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acdse
+{
+
+/** Thrown by BinaryReader (and the artifact store) on malformed input. */
+class SerializationError : public std::runtime_error
+{
+  public:
+    explicit SerializationError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Appends little-endian encoded values to a growable byte buffer. */
+class BinaryWriter
+{
+  public:
+    /** @name Scalar encoders. */
+    /** @{ */
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    /** Raw IEEE-754 bits; round-trips every finite and non-finite value. */
+    void f64(double value);
+    /** @} */
+
+    /** Length-prefixed (u64) byte string. */
+    void str(const std::string &value);
+
+    /** Length-prefixed (u64) vector of f64. */
+    void f64vec(const std::vector<double> &values);
+
+    /** The encoded bytes so far. */
+    const std::string &buffer() const { return buffer_; }
+
+    /** Move the encoded bytes out (the writer becomes empty). */
+    std::string takeBuffer() { return std::move(buffer_); }
+
+  private:
+    std::string buffer_;
+};
+
+/**
+ * Decodes values from a byte buffer in the order they were written.
+ * The reader does not own the bytes; the underlying buffer must outlive
+ * it.
+ */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::string_view data) : data_(data) {}
+
+    /** @name Scalar decoders (throw SerializationError on underflow). */
+    /** @{ */
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    /** @} */
+
+    /** Length-prefixed byte string. */
+    std::string str();
+
+    /** Length-prefixed vector of f64. */
+    std::vector<double> f64vec();
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+    /** Whether every byte has been consumed. */
+    bool exhausted() const { return remaining() == 0; }
+
+  private:
+    /** Take @p count raw bytes or throw. */
+    const char *take(std::size_t count);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * FNV-1a 64-bit hash -- the artifact store's content checksum. Not
+ * cryptographic; detects truncation and bit rot, which is all an
+ * integrity check on a local model file needs.
+ */
+std::uint64_t fnv1a64(std::string_view data);
+
+} // namespace acdse
+
+#endif // ACDSE_BASE_BINARY_IO_HH

@@ -1,5 +1,8 @@
 #include "base/csv.hh"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -63,6 +66,19 @@ writeCsv(const std::string &path, const CsvFile &file)
         write_row(row);
     if (!os)
         panic("failed while writing '", path, "'");
+}
+
+void
+writeCsvAtomic(const std::string &path, const CsvFile &file)
+{
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp = tmp_name.str();
+    writeCsv(tmp, file);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        panic("cannot rename '", tmp, "' to '", path, "'");
+    }
 }
 
 } // namespace acdse

@@ -31,6 +31,16 @@ bool readCsv(const std::string &path, CsvFile &out);
 /** Write a CSV file to disk; panics on I/O failure. */
 void writeCsv(const std::string &path, const CsvFile &file);
 
+/**
+ * Write a CSV file atomically: the content goes to a process-unique
+ * temporary file that is rename()d over @p path, so concurrent readers
+ * (and racing writers sharing one cache file) see either the old file
+ * or the complete new one, never a truncated in-between state. The
+ * temporary lives in the same directory as @p path, as rename() is
+ * only atomic within a filesystem.
+ */
+void writeCsvAtomic(const std::string &path, const CsvFile &file);
+
 /** Split one CSV line on commas (no quoting support). */
 std::vector<std::string> splitCsvLine(const std::string &line);
 

@@ -1,5 +1,6 @@
 #include "core/architecture_centric_predictor.hh"
 
+#include "base/binary_io.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 
@@ -84,8 +85,71 @@ ArchitectureCentricPredictor::fitResponses(
 double
 ArchitectureCentricPredictor::predict(const MicroarchConfig &config) const
 {
+    PredictScratch scratch;
+    return predictFromFeatures(config.asFeatureVector(), scratch);
+}
+
+double
+ArchitectureCentricPredictor::predictFromFeatures(
+    const std::vector<double> &features, PredictScratch &scratch) const
+{
     ACDSE_ASSERT(ready(), "predict before training/responses");
-    return regressor_.predict(features(config));
+    scratch.ensemble.resize(programModels_.size());
+    for (std::size_t i = 0; i < programModels_.size(); ++i) {
+        scratch.ensemble[i] =
+            programModels_[i]->predictFromFeatures(features,
+                                                   scratch.scaled);
+    }
+    return regressor_.predict(scratch.ensemble);
+}
+
+void
+ArchitectureCentricPredictor::save(BinaryWriter &w) const
+{
+    ACDSE_ASSERT(offlineTrained_,
+                 "cannot save before the offline phase");
+    w.f64(options_.ridge);
+    w.u8(options_.intercept ? 1 : 0);
+    w.u8(responsesFitted_ ? 1 : 0);
+    w.f64(trainingError_);
+    w.u64(programModels_.size());
+    for (std::size_t i = 0; i < programModels_.size(); ++i) {
+        w.str(programNames_[i]);
+        programModels_[i]->save(w);
+    }
+    if (responsesFitted_)
+        regressor_.save(w);
+}
+
+void
+ArchitectureCentricPredictor::load(BinaryReader &r)
+{
+    options_.ridge = r.f64();
+    options_.intercept = r.u8() != 0;
+    const bool fitted = r.u8() != 0;
+    trainingError_ = r.f64();
+    const std::uint64_t count = r.u64();
+    if (count == 0)
+        throw SerializationError("predictor with no program models");
+
+    programNames_.clear();
+    programModels_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        programNames_.push_back(r.str());
+        auto model = std::make_shared<ProgramSpecificPredictor>();
+        model->load(r);
+        programModels_.push_back(std::move(model));
+    }
+    if (fitted) {
+        regressor_.load(r);
+        if (regressor_.weights().size() != programModels_.size())
+            throw SerializationError(
+                "regression arity does not match the model count");
+    } else {
+        regressor_ = LinearRegression();
+    }
+    offlineTrained_ = true;
+    responsesFitted_ = fitted;
 }
 
 const std::vector<double> &

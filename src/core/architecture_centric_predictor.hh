@@ -25,6 +25,9 @@
 namespace acdse
 {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Options for the architecture-centric model. */
 struct ArchCentricOptions
 {
@@ -41,6 +44,17 @@ struct ArchCentricOptions
     double ridge = 2e-2;
     /** Fit the regressor's intercept beta_0. */
     bool intercept = true;
+};
+
+/**
+ * Reusable buffers for ArchitectureCentricPredictor::predictFromFeatures.
+ * One instance per serving thread keeps the prediction hot path free of
+ * heap allocations after the first call.
+ */
+struct PredictScratch
+{
+    std::vector<double> scaled;    //!< per-ANN scaled-input buffer
+    std::vector<double> ensemble;  //!< the ANN outputs (regressor input)
 };
 
 /** Training data for one offline training program. */
@@ -86,6 +100,17 @@ class ArchitectureCentricPredictor
     double predict(const MicroarchConfig &config) const;
 
     /**
+     * Predict from a precomputed feature vector
+     * (MicroarchConfig::asFeatureVector()), reusing @p scratch across
+     * calls. Identical arithmetic to predict(); lets a caller that
+     * evaluates several metrics of one configuration -- the prediction
+     * service serves cycles, energy, ED and EDD per query -- build the
+     * feature vector once and keep the hot path allocation-free.
+     */
+    double predictFromFeatures(const std::vector<double> &features,
+                               PredictScratch &scratch) const;
+
+    /**
      * Error of the fit on its own responses (the "training error" of
      * Figs. 11/12, which the paper shows is a usable proxy for the
      * testing error and so flags programs with unique behaviour).
@@ -106,6 +131,17 @@ class ArchitectureCentricPredictor
 
     /** Whether the offline phase has completed. */
     bool offlineTrained() const { return offlineTrained_; }
+
+    /**
+     * Serialise the full predictor state: options, the per-program ANN
+     * ensemble and (if fitted) the response regression. A loaded
+     * predictor predicts bit-identically and can fitResponses() again
+     * for further new programs.
+     */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
 
   private:
     /** ANN outputs at one configuration (the regressor's features). */

@@ -194,7 +194,10 @@ Campaign::saveCache() const
             file.rows.push_back(std::move(row));
         }
     }
-    writeCsv(cachePath(), file);
+    // Atomic replace: two experiment binaries racing on the same
+    // ACDSE_CACHE_DIR may both save, but neither can leave a truncated
+    // cache for the other (or a later run) to trip over.
+    writeCsvAtomic(cachePath(), file);
 }
 
 void

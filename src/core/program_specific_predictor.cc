@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/binary_io.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -37,11 +38,35 @@ ProgramSpecificPredictor::train(const std::vector<MicroarchConfig> &configs,
     mlp_.train(xs, ys);
 }
 
+void
+ProgramSpecificPredictor::save(BinaryWriter &w) const
+{
+    w.u8(options_.logTarget ? 1 : 0);
+    mlp_.save(w);
+}
+
+void
+ProgramSpecificPredictor::load(BinaryReader &r)
+{
+    options_.logTarget = r.u8() != 0;
+    mlp_.load(r);
+    options_.mlp = mlp_.options();
+}
+
 double
 ProgramSpecificPredictor::predict(const MicroarchConfig &config) const
 {
+    std::vector<double> scratch;
+    return predictFromFeatures(config.asFeatureVector(), scratch);
+}
+
+double
+ProgramSpecificPredictor::predictFromFeatures(
+    const std::vector<double> &features,
+    std::vector<double> &scratch) const
+{
     ACDSE_ASSERT(trained(), "predict before train");
-    const double raw = mlp_.predict(config.asFeatureVector());
+    const double raw = mlp_.predict(features, scratch);
     return options_.logTarget ? std::exp(raw) : raw;
 }
 

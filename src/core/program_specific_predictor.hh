@@ -21,6 +21,9 @@
 namespace acdse
 {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Options for a program-specific predictor. */
 struct ProgramSpecificOptions
 {
@@ -52,8 +55,25 @@ class ProgramSpecificPredictor
     /** Predict the metric for an arbitrary configuration. */
     double predict(const MicroarchConfig &config) const;
 
+    /**
+     * Predict from a precomputed feature vector
+     * (MicroarchConfig::asFeatureVector()), using @p scratch for the
+     * network's scaled input. Identical arithmetic to predict(); lets
+     * callers that evaluate many models on one configuration -- the
+     * architecture-centric ensemble, the prediction service -- build
+     * the feature vector once and keep the hot path allocation-free.
+     */
+    double predictFromFeatures(const std::vector<double> &features,
+                               std::vector<double> &scratch) const;
+
     /** Whether train() has been called. */
     bool trained() const { return mlp_.trained(); }
+
+    /** Serialise the trained model (bit-exact round trip). */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
 
   private:
     ProgramSpecificOptions options_;

@@ -1,5 +1,6 @@
 #include "ml/linear_regression.hh"
 
+#include "base/binary_io.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -62,6 +63,22 @@ LinearRegression::fit(const std::vector<std::vector<double>> &xs,
         intercept_ = 0.0;
         weights_ = std::move(beta);
     }
+}
+
+void
+LinearRegression::save(BinaryWriter &w) const
+{
+    ACDSE_ASSERT(fitted_, "cannot save an unfitted regression");
+    w.f64vec(weights_);
+    w.f64(intercept_);
+}
+
+void
+LinearRegression::load(BinaryReader &r)
+{
+    weights_ = r.f64vec();
+    intercept_ = r.f64();
+    fitted_ = true;
 }
 
 double

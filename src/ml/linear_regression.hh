@@ -18,6 +18,9 @@
 namespace acdse
 {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Linear model y = beta0 + sum_j beta_j x_j. */
 class LinearRegression
 {
@@ -46,6 +49,12 @@ class LinearRegression
 
     /** Whether fit() succeeded. */
     bool fitted() const { return fitted_; }
+
+    /** Serialise the fitted coefficients (bit-exact round trip). */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
 
   private:
     std::vector<double> weights_;

@@ -20,6 +20,9 @@
 namespace acdse
 {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Training hyper-parameters for Mlp. */
 struct MlpOptions
 {
@@ -48,8 +51,21 @@ class Mlp
     void train(const std::vector<std::vector<double>> &xs,
                const std::vector<double> &ys);
 
-    /** Predict one sample. */
+    /**
+     * Predict one sample. Thread-safe on a trained network: the
+     * forward pass touches no shared mutable state, so a serving
+     * thread pool may call this concurrently.
+     */
     double predict(const std::vector<double> &x) const;
+
+    /**
+     * Predict one sample using @p scratch for the scaled input
+     * (resized as needed). Identical arithmetic to predict(), but
+     * allocation-free when the buffer is reused across calls -- the
+     * serving hot path.
+     */
+    double predict(const std::vector<double> &x,
+                   std::vector<double> &scratch) const;
 
     /** Whether train() has been called. */
     bool trained() const { return trained_; }
@@ -57,9 +73,23 @@ class Mlp
     /** The options the network was built with. */
     const MlpOptions &options() const { return options_; }
 
+    /**
+     * Serialise the trained network (options, scalers and weights);
+     * a loaded network predicts bit-identically to the saved one.
+     */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
+
   private:
-    /** Forward pass on an already-scaled input; fills hidden_. */
-    double forwardScaled(const std::vector<double> &xz) const;
+    /**
+     * Forward pass on an already-scaled input. If @p hidden is
+     * non-null it receives the hidden activations (sized
+     * hiddenNeurons), which back-propagation needs.
+     */
+    double forwardScaled(const std::vector<double> &xz,
+                         std::vector<double> *hidden = nullptr) const;
 
     /** One full SGD run on scaled data at the given learning rate. */
     void trainScaled(const std::vector<std::vector<double>> &xz,
@@ -73,7 +103,6 @@ class Mlp
     // folded in as the last column; output is (hidden+1) with bias last.
     std::vector<double> hiddenWeights_;
     std::vector<double> outputWeights_;
-    mutable std::vector<double> hidden_;
     bool trained_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/binary_io.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 
@@ -36,11 +37,35 @@ StandardScaler::fit(const std::vector<std::vector<double>> &samples)
 std::vector<double>
 StandardScaler::transform(const std::vector<double> &x) const
 {
+    std::vector<double> out;
+    transformInto(x, out);
+    return out;
+}
+
+void
+StandardScaler::transformInto(const std::vector<double> &x,
+                              std::vector<double> &out) const
+{
     ACDSE_ASSERT(x.size() == means_.size(), "dimension mismatch");
-    std::vector<double> out(x.size());
+    out.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = (x[i] - means_[i]) / scales_[i];
-    return out;
+}
+
+void
+StandardScaler::save(BinaryWriter &w) const
+{
+    w.f64vec(means_);
+    w.f64vec(scales_);
+}
+
+void
+StandardScaler::load(BinaryReader &r)
+{
+    means_ = r.f64vec();
+    scales_ = r.f64vec();
+    if (scales_.size() != means_.size())
+        throw SerializationError("scaler mean/scale arity mismatch");
 }
 
 void
@@ -50,6 +75,20 @@ TargetScaler::fit(const std::vector<double> &ys)
     mean_ = stats::mean(ys);
     const double sd = stats::stddev(ys);
     sdev_ = sd > 1e-12 ? sd : 1.0;
+}
+
+void
+TargetScaler::save(BinaryWriter &w) const
+{
+    w.f64(mean_);
+    w.f64(sdev_);
+}
+
+void
+TargetScaler::load(BinaryReader &r)
+{
+    mean_ = r.f64();
+    sdev_ = r.f64();
 }
 
 } // namespace acdse

@@ -12,6 +12,9 @@
 namespace acdse
 {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Per-dimension z-score scaler. */
 class StandardScaler
 {
@@ -22,11 +25,25 @@ class StandardScaler
     /** Transform one sample in place. */
     std::vector<double> transform(const std::vector<double> &x) const;
 
+    /**
+     * Transform into a caller-provided buffer (resized as needed) --
+     * the serving hot path calls this per query point and reuses one
+     * buffer to keep prediction allocation-free.
+     */
+    void transformInto(const std::vector<double> &x,
+                       std::vector<double> &out) const;
+
     /** Whether fit() has been called. */
     bool fitted() const { return !means_.empty(); }
 
     /** Number of dimensions the scaler was fitted on. */
     std::size_t dims() const { return means_.size(); }
+
+    /** Serialise the fitted state (bit-exact round trip). */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
 
   private:
     std::vector<double> means_;
@@ -45,6 +62,12 @@ class TargetScaler
 
     /** Invert the scaling on a model output. */
     double unscale(double z) const { return z * sdev_ + mean_; }
+
+    /** Serialise the fitted state (bit-exact round trip). */
+    void save(BinaryWriter &w) const;
+
+    /** Restore state written by save(). */
+    void load(BinaryReader &r);
 
   private:
     double mean_ = 0.0;

@@ -1,0 +1,217 @@
+#include "serve/prediction_service.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace acdse
+{
+
+ServeOptions
+ServeOptions::fromEnvironment()
+{
+    ServeOptions options;
+    if (const char *value = std::getenv("ACDSE_SERVE_THREADS");
+        value && *value) {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value, &end, 10);
+        if (end == value || *end != '\0')
+            fatal("ACDSE_SERVE_THREADS is not a number: '", value, "'");
+        options.threads = static_cast<std::size_t>(parsed);
+    }
+    return options;
+}
+
+PredictionService::PredictionService(ModelArtifact artifact,
+                                     ServeOptions options)
+    : artifact_(std::move(artifact)), options_(options)
+{
+    ACDSE_ASSERT(!artifact_.empty(),
+                 "cannot serve an artifact with no predictors");
+    for (const auto &entry : artifact_.entries()) {
+        ACDSE_ASSERT(entry.predictor.ready(),
+                     "artifact predictor for ", metricName(entry.metric),
+                     " has no fitted responses");
+    }
+    ACDSE_ASSERT(options_.chunk > 0, "chunk size must be positive");
+
+    std::size_t threads = options_.threads
+                              ? options_.threads
+                              : std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(1, threads);
+    // The calling thread participates in every batch, so spawn one
+    // fewer worker than the requested parallelism.
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+PredictionService
+PredictionService::fromFile(const std::string &path, ServeOptions options)
+{
+    return PredictionService(loadArtifact(path), options);
+}
+
+PredictionService::~PredictionService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+PredictionService::computeRange(
+    const std::vector<MicroarchConfig> &queries,
+    std::vector<PredictionRow> &rows, std::size_t begin,
+    std::size_t end) const
+{
+    // Build each query's feature vector once and share it across all
+    // served metrics; the scratch buffers persist across the whole
+    // range, so the per-point work is pure arithmetic.
+    PredictScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+        PredictionRow &row = rows[i];
+        row.values.fill(std::numeric_limits<double>::quiet_NaN());
+        const std::vector<double> features = queries[i].asFeatureVector();
+        for (const auto &entry : artifact_.entries()) {
+            row.values[static_cast<std::size_t>(entry.metric)] =
+                entry.predictor.predictFromFeatures(features, scratch);
+        }
+    }
+}
+
+std::size_t
+PredictionService::drainChunks(const std::vector<MicroarchConfig> &queries,
+                               std::vector<PredictionRow> &rows,
+                               std::size_t num_chunks)
+{
+    std::size_t done = 0;
+    for (;;) {
+        const std::size_t chunk = nextChunk_.fetch_add(1);
+        if (chunk >= num_chunks)
+            return done;
+        const std::size_t begin = chunk * options_.chunk;
+        const std::size_t end =
+            std::min(begin + options_.chunk, queries.size());
+        computeRange(queries, rows, begin, end);
+        ++done;
+    }
+}
+
+void
+PredictionService::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::vector<MicroarchConfig> *queries = nullptr;
+        std::vector<PredictionRow> *rows = nullptr;
+        std::size_t num_chunks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+            queries = batchQueries_;
+            rows = batchRows_;
+            num_chunks = batchChunks_;
+        }
+        // A worker can wake after the batch it was notified for has
+        // fully completed (the pointers are then already cleared);
+        // there is nothing left to claim in that case.
+        if (!queries || !rows)
+            continue;
+        const std::size_t done = drainChunks(*queries, *rows, num_chunks);
+        if (done) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            chunksDone_ += done;
+            if (chunksDone_ == batchChunks_)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+std::vector<PredictionRow>
+PredictionService::predict(const std::vector<MicroarchConfig> &queries)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<PredictionRow> rows(queries.size());
+    if (queries.empty())
+        return rows;
+
+    if (workers_.empty() || queries.size() <= options_.inlineBelow) {
+        computeRange(queries, rows, 0, queries.size());
+    } else {
+        std::lock_guard<std::mutex> batch_lock(batchMutex_);
+        const std::size_t num_chunks =
+            (queries.size() + options_.chunk - 1) / options_.chunk;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batchQueries_ = &queries;
+            batchRows_ = &rows;
+            batchChunks_ = num_chunks;
+            chunksDone_ = 0;
+            nextChunk_.store(0, std::memory_order_relaxed);
+            ++generation_;
+        }
+        workCv_.notify_all();
+        const std::size_t done = drainChunks(queries, rows, num_chunks);
+        std::unique_lock<std::mutex> lock(mutex_);
+        chunksDone_ += done;
+        doneCv_.wait(lock, [&] { return chunksDone_ == batchChunks_; });
+        batchQueries_ = nullptr;
+        batchRows_ = nullptr;
+    }
+
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    recordBatch(queries.size(), elapsed_ms);
+    return rows;
+}
+
+PredictionRow
+PredictionService::predictOne(const MicroarchConfig &query)
+{
+    return predict({query}).front();
+}
+
+void
+PredictionService::recordBatch(std::size_t points, double elapsed_ms)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_.batches += 1;
+    stats_.points += points;
+    stats_.totalMs += elapsed_ms;
+    stats_.lastMs = elapsed_ms;
+    stats_.minMs = stats_.batches == 1
+                       ? elapsed_ms
+                       : std::min(stats_.minMs, elapsed_ms);
+    stats_.maxMs = std::max(stats_.maxMs, elapsed_ms);
+}
+
+ServiceStats
+PredictionService::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+void
+PredictionService::resetStats()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_ = ServiceStats{};
+}
+
+} // namespace acdse

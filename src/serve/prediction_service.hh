@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The prediction server: batched design-space queries against a loaded
+ * model artifact, executed on a persistent worker thread pool.
+ *
+ * One query is a 13-parameter MicroarchConfig; the answer is the
+ * predicted value of every metric the artifact carries (cycles,
+ * energy, ED, EDD). Prediction is pure floating-point arithmetic over
+ * the trained ANN ensemble -- microseconds per point -- so the service
+ * chunks each batch across its workers and the hot path is lock-free:
+ * workers claim chunks from an atomic cursor and write to disjoint
+ * slices of the result vector.
+ *
+ * Per-batch latency and lifetime throughput counters are kept so a
+ * deployment can watch the serving path (see ServiceStats and
+ * bench/bench_serve_throughput.cc).
+ *
+ * Environment knobs:
+ *  - ACDSE_SERVE_THREADS  worker threads (default: hardware parallelism)
+ */
+
+#ifndef ACDSE_SERVE_PREDICTION_SERVICE_HH
+#define ACDSE_SERVE_PREDICTION_SERVICE_HH
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "arch/microarch_config.hh"
+#include "serve/model_store.hh"
+#include "sim/metrics.hh"
+
+namespace acdse
+{
+
+/** Prediction-service tuning parameters. */
+struct ServeOptions
+{
+    std::size_t threads = 0;    //!< worker threads (0 = hardware)
+    /**
+     * Query points per work unit. Small enough to balance load across
+     * workers, large enough that the atomic claim is amortised away.
+     */
+    std::size_t chunk = 64;
+    /**
+     * Batches at most this size are predicted inline on the calling
+     * thread: waking the pool costs more than the work itself.
+     */
+    std::size_t inlineBelow = 128;
+
+    /** Defaults with any ACDSE_SERVE_* environment overrides applied. */
+    static ServeOptions fromEnvironment();
+};
+
+/** Predictions for one query point, indexed by Metric. */
+struct PredictionRow
+{
+    /** Predicted values; NaN for metrics absent from the artifact. */
+    std::array<double, kNumMetrics> values;
+
+    /** Value for one metric (NaN if the artifact lacks it). */
+    double get(Metric metric) const
+    {
+        return values[static_cast<std::size_t>(metric)];
+    }
+};
+
+/** Snapshot of the service's serving counters. */
+struct ServiceStats
+{
+    std::uint64_t batches = 0;  //!< batches served
+    std::uint64_t points = 0;   //!< query points served
+    double totalMs = 0.0;       //!< summed batch latencies
+    double lastMs = 0.0;        //!< latency of the most recent batch
+    double minMs = 0.0;         //!< fastest batch so far
+    double maxMs = 0.0;         //!< slowest batch so far
+
+    /** Mean batch latency in milliseconds. */
+    double meanMs() const
+    {
+        return batches ? totalMs / static_cast<double>(batches) : 0.0;
+    }
+
+    /** Lifetime throughput in predicted points per second. */
+    double pointsPerSecond() const
+    {
+        return totalMs > 0.0
+                   ? static_cast<double>(points) / (totalMs / 1000.0)
+                   : 0.0;
+    }
+};
+
+/**
+ * A running prediction server over one model artifact.
+ *
+ * Thread model: the worker pool parallelises *within* one batch;
+ * concurrent predict() callers are serialised (the artifact's models
+ * are shared read-only, so this is a simplicity choice, not a safety
+ * one). Construction spins the pool up; destruction joins it.
+ */
+class PredictionService
+{
+  public:
+    /** Serve an in-memory artifact. */
+    explicit PredictionService(ModelArtifact artifact,
+                               ServeOptions options =
+                                   ServeOptions::fromEnvironment());
+
+    /**
+     * Load an artifact file and serve it.
+     * @throws SerializationError if the file fails integrity checks.
+     */
+    static PredictionService fromFile(const std::string &path,
+                                      ServeOptions options =
+                                          ServeOptions::fromEnvironment());
+
+    ~PredictionService();
+
+    PredictionService(const PredictionService &) = delete;
+    PredictionService &operator=(const PredictionService &) = delete;
+
+    /** The artifact being served. */
+    const ModelArtifact &artifact() const { return artifact_; }
+
+    /** The metrics this service predicts. */
+    std::vector<Metric> metrics() const { return artifact_.metrics(); }
+
+    /** Number of pool workers (excluding the calling thread). */
+    std::size_t poolThreads() const { return workers_.size(); }
+
+    /**
+     * Predict every artifact metric for a batch of query points.
+     * Returns one row per query, in order.
+     */
+    std::vector<PredictionRow> predict(
+        const std::vector<MicroarchConfig> &queries);
+
+    /** Predict a single point (counts as a batch of one). */
+    PredictionRow predictOne(const MicroarchConfig &query);
+
+    /** Snapshot the serving counters. */
+    ServiceStats stats() const;
+
+    /** Zero the serving counters (e.g. after a warm-up run). */
+    void resetStats();
+
+  private:
+    /** Worker main loop: wait for a batch, drain chunks, repeat. */
+    void workerLoop();
+
+    /** Claim and compute chunks of the current batch; returns #done. */
+    std::size_t drainChunks(const std::vector<MicroarchConfig> &queries,
+                            std::vector<PredictionRow> &rows,
+                            std::size_t num_chunks);
+
+    /** Predict queries[begin, end) into rows. */
+    void computeRange(const std::vector<MicroarchConfig> &queries,
+                      std::vector<PredictionRow> &rows, std::size_t begin,
+                      std::size_t end) const;
+
+    /** Fold one finished batch into the counters. */
+    void recordBatch(std::size_t points, double elapsed_ms);
+
+    ModelArtifact artifact_;
+    ServeOptions options_;
+
+    // Pool state. mutex_ guards the batch hand-off and completion
+    // accounting; the per-chunk claims inside a batch go through the
+    // lock-free cursor nextChunk_.
+    std::vector<std::thread> workers_;
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    bool shutdown_ = false;
+    std::uint64_t generation_ = 0;
+    const std::vector<MicroarchConfig> *batchQueries_ = nullptr;
+    std::vector<PredictionRow> *batchRows_ = nullptr;
+    std::size_t batchChunks_ = 0;
+    std::size_t chunksDone_ = 0;
+    std::atomic<std::size_t> nextChunk_{0};
+
+    // Serialises public predict() callers.
+    std::mutex batchMutex_;
+
+    // Serving counters.
+    mutable std::mutex statsMutex_;
+    ServiceStats stats_;
+};
+
+} // namespace acdse
+
+#endif // ACDSE_SERVE_PREDICTION_SERVICE_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the prediction service: served predictions match the
+ * underlying predictors exactly (single- and multi-threaded), absent
+ * metrics come back NaN, and the serving counters add up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "arch/design_space.hh"
+#include "serve/prediction_service.hh"
+
+namespace acdse
+{
+namespace
+{
+
+double
+synthetic(const MicroarchConfig &config, double wide, double mem)
+{
+    return 500.0 + wide * 4000.0 / config.width() +
+           mem * 60000.0 /
+               std::sqrt(static_cast<double>(config.l2Bytes() / 1024));
+}
+
+ArchitectureCentricPredictor
+trainedPredictor(double wide, double mem)
+{
+    const auto train = DesignSpace::sampleValidConfigs(64, 1);
+    std::vector<ProgramTrainingSet> sets(2);
+    for (int j = 0; j < 2; ++j) {
+        sets[j].name = "p" + std::to_string(j);
+        sets[j].configs = train;
+        for (const auto &c : train)
+            sets[j].values.push_back(
+                synthetic(c, wide + 0.5 * j, mem));
+    }
+    ArchitectureCentricPredictor predictor;
+    predictor.trainOffline(sets);
+    const auto rc = DesignSpace::sampleValidConfigs(16, 2);
+    std::vector<double> responses;
+    for (const auto &c : rc)
+        responses.push_back(synthetic(c, wide, mem));
+    predictor.fitResponses(rc, responses);
+    return predictor;
+}
+
+ModelArtifact
+twoMetricArtifact()
+{
+    ModelArtifact artifact;
+    artifact.setTag("service test");
+    artifact.add(Metric::Cycles, trainedPredictor(1.0, 1.0));
+    artifact.add(Metric::Energy, trainedPredictor(0.5, 2.0));
+    return artifact;
+}
+
+TEST(PredictionService, MatchesDirectPredictorExactly)
+{
+    const ModelArtifact artifact = twoMetricArtifact();
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service(artifact, options);
+
+    const auto queries = DesignSpace::sampleValidConfigs(40, 3);
+    const auto rows = service.predict(queries);
+    ASSERT_EQ(rows.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(rows[i].get(Metric::Cycles),
+                  artifact.predictor(Metric::Cycles).predict(queries[i]));
+        EXPECT_EQ(rows[i].get(Metric::Energy),
+                  artifact.predictor(Metric::Energy).predict(queries[i]));
+    }
+}
+
+TEST(PredictionService, AbsentMetricsAreNaN)
+{
+    ModelArtifact artifact;
+    artifact.add(Metric::Cycles, trainedPredictor(1.0, 1.0));
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service(std::move(artifact), options);
+    const PredictionRow row =
+        service.predictOne(DesignSpace::baseline());
+    EXPECT_FALSE(std::isnan(row.get(Metric::Cycles)));
+    EXPECT_TRUE(std::isnan(row.get(Metric::Energy)));
+    EXPECT_TRUE(std::isnan(row.get(Metric::Ed)));
+    EXPECT_TRUE(std::isnan(row.get(Metric::Edd)));
+}
+
+TEST(PredictionService, ThreadPoolMatchesSingleThread)
+{
+    const ModelArtifact artifact = twoMetricArtifact();
+    const auto queries = DesignSpace::sampleValidConfigs(700, 4);
+
+    ServeOptions single;
+    single.threads = 1;
+    PredictionService reference(artifact, single);
+    const auto expected = reference.predict(queries);
+
+    ServeOptions pooled;
+    pooled.threads = 4;
+    pooled.chunk = 16;       // force many chunks
+    pooled.inlineBelow = 0;  // force the pool path
+    PredictionService service(artifact, pooled);
+    EXPECT_EQ(service.poolThreads(), 3u);
+
+    // Several batches through the same pool (reuse across generations).
+    // Compare metric by metric: the absent ones are NaN, and NaN never
+    // compares equal to itself.
+    for (int round = 0; round < 3; ++round) {
+        const auto rows = service.predict(queries);
+        ASSERT_EQ(rows.size(), expected.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(rows[i].get(Metric::Cycles),
+                      expected[i].get(Metric::Cycles));
+            EXPECT_EQ(rows[i].get(Metric::Energy),
+                      expected[i].get(Metric::Energy));
+        }
+    }
+}
+
+TEST(PredictionService, CountersAddUp)
+{
+    ServeOptions options;
+    options.threads = 2;
+    options.inlineBelow = 0;
+    options.chunk = 8;
+    PredictionService service(twoMetricArtifact(), options);
+
+    const auto queries = DesignSpace::sampleValidConfigs(100, 5);
+    service.predict(queries);
+    service.predict(queries);
+    service.predictOne(DesignSpace::baseline());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches, 3u);
+    EXPECT_EQ(stats.points, 201u);
+    EXPECT_GT(stats.totalMs, 0.0);
+    EXPECT_GE(stats.maxMs, stats.minMs);
+    EXPECT_GT(stats.pointsPerSecond(), 0.0);
+
+    service.resetStats();
+    EXPECT_EQ(service.stats().batches, 0u);
+    EXPECT_EQ(service.stats().points, 0u);
+}
+
+TEST(PredictionService, EmptyBatchIsANoOp)
+{
+    ServeOptions options;
+    options.threads = 2;
+    PredictionService service(twoMetricArtifact(), options);
+    EXPECT_TRUE(service.predict({}).empty());
+    EXPECT_EQ(service.stats().batches, 0u);
+}
+
+TEST(PredictionService, FromFileServesSavedArtifact)
+{
+    const ModelArtifact artifact = twoMetricArtifact();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "acdse_service_from_file.acdse")
+            .string();
+    saveArtifact(path, artifact);
+
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service =
+        PredictionService::fromFile(path, options);
+    std::remove(path.c_str());
+    const MicroarchConfig probe = DesignSpace::baseline();
+    EXPECT_EQ(service.predictOne(probe).get(Metric::Cycles),
+              artifact.predictor(Metric::Cycles).predict(probe));
+}
+
+TEST(PredictionServiceDeathTest, RejectsUnfittedArtifact)
+{
+    const auto train = DesignSpace::sampleValidConfigs(32, 6);
+    std::vector<ProgramTrainingSet> sets(1);
+    sets[0].name = "p";
+    sets[0].configs = train;
+    for (const auto &c : train)
+        sets[0].values.push_back(synthetic(c, 1.0, 1.0));
+    ArchitectureCentricPredictor offline_only;
+    offline_only.trainOffline(sets);
+
+    ModelArtifact artifact;
+    artifact.add(Metric::Cycles, std::move(offline_only));
+    EXPECT_DEATH(PredictionService(std::move(artifact)),
+                 "no fitted responses");
+}
+
+} // namespace
+} // namespace acdse

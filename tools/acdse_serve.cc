@@ -1,0 +1,243 @@
+/**
+ * @file
+ * acdse-serve: command-line prediction server front-end.
+ *
+ * Loads a model artifact (see serve/model_store.hh) and streams
+ * predictions for CSV query batches read from a file or stdin. Each
+ * input row is the 13 design-space parameters in Table 1 order:
+ *
+ *   width,ROB,IQ,LSQ,RF,RF rd,RF wr,bpred(K),BTB(K),branches,
+ *   IL1(KB),DL1(KB),L2(KB)
+ *
+ * A header row and '#' comment lines are skipped. Output is CSV: the
+ * 13 echoed parameters followed by one column per metric the artifact
+ * carries. Rows are processed in batches (--batch) across the service
+ * thread pool, so piping a large file through this binary exercises
+ * the same hot path as bench_serve_throughput.
+ *
+ * Usage:
+ *   acdse-serve --model trained.acdse [--input queries.csv]
+ *               [--batch N] [--threads N] [--stats]
+ *
+ * Environment: ACDSE_SERVE_THREADS is honoured when --threads is not
+ * given.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/binary_io.hh"
+#include "base/csv.hh"
+#include "base/logging.hh"
+#include "serve/prediction_service.hh"
+
+using namespace acdse;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string modelPath;
+    std::string inputPath = "-";
+    std::size_t batch = 256;
+    std::size_t threads = 0; // 0 = ServeOptions default
+    bool printStats = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --model FILE [--input FILE|-] [--batch N]\n"
+        "          [--threads N] [--stats]\n"
+        "\n"
+        "Serve design-point predictions from a trained model artifact.\n"
+        "Reads CSV rows of the 13 Table-1 parameters from --input\n"
+        "(default stdin) and writes predictions as CSV to stdout.\n",
+        argv0);
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value after ", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--model")) {
+            options.modelPath = value(i);
+        } else if (!std::strcmp(argv[i], "--input")) {
+            options.inputPath = value(i);
+        } else if (!std::strcmp(argv[i], "--batch")) {
+            options.batch =
+                static_cast<std::size_t>(std::atoll(value(i)));
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            options.threads =
+                static_cast<std::size_t>(std::atoll(value(i)));
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            options.printStats = true;
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            usage(argv[0]);
+        } else {
+            warn("unknown argument '", argv[i], "'");
+            usage(argv[0]);
+        }
+    }
+    if (options.modelPath.empty()) {
+        warn("--model is required");
+        usage(argv[0]);
+    }
+    if (options.batch == 0)
+        fatal("--batch must be positive");
+    return options;
+}
+
+/**
+ * Parse one CSV query row into a configuration; returns false for
+ * header/comment rows. Illegal parameter values are fatal with the
+ * offending line number, since silently serving a prediction for a
+ * point outside the design space would be worse than stopping.
+ */
+bool
+parseQuery(const std::string &line, std::size_t lineNo,
+           MicroarchConfig &out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    const auto cells = splitCsvLine(line);
+    if (cells.size() != kNumParams) {
+        fatal("line ", lineNo, ": expected ", kNumParams,
+              " comma-separated values, got ", cells.size());
+    }
+    std::array<int, kNumParams> values;
+    for (std::size_t p = 0; p < kNumParams; ++p) {
+        char *end = nullptr;
+        const long parsed = std::strtol(cells[p].c_str(), &end, 10);
+        if (end == cells[p].c_str() || *end != '\0') {
+            // A non-numeric *first* cell on the first line is a header
+            // row; a non-numeric cell anywhere else is corrupt data and
+            // must not be skipped silently.
+            if (lineNo == 1 && p == 0)
+                return false;
+            fatal("line ", lineNo, ": '", cells[p],
+                  "' is not an integer");
+        }
+        const ParamSpec &spec = paramSpec(static_cast<Param>(p));
+        if (!spec.contains(static_cast<int>(parsed))) {
+            fatal("line ", lineNo, ": ", parsed,
+                  " is not a legal value for ", spec.name);
+        }
+        values[p] = static_cast<int>(parsed);
+    }
+    out = MicroarchConfig(values);
+    return true;
+}
+
+void
+writeHeader(const std::vector<Metric> &metrics)
+{
+    for (std::size_t p = 0; p < kNumParams; ++p)
+        std::printf("%s%s", p ? "," : "",
+                    paramName(static_cast<Param>(p)).c_str());
+    for (Metric metric : metrics)
+        std::printf(",%s", metricName(metric));
+    std::printf("\n");
+}
+
+void
+writeBatch(const std::vector<MicroarchConfig> &queries,
+           const std::vector<PredictionRow> &rows,
+           const std::vector<Metric> &metrics)
+{
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const auto &raw = queries[i].raw();
+        for (std::size_t p = 0; p < kNumParams; ++p)
+            std::printf("%s%d", p ? "," : "", raw[p]);
+        for (Metric metric : metrics)
+            std::printf(",%.17g", rows[i].get(metric));
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli = parseArgs(argc, argv);
+
+    ServeOptions serve_options = ServeOptions::fromEnvironment();
+    if (cli.threads)
+        serve_options.threads = cli.threads;
+
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (cli.inputPath != "-") {
+        file.open(cli.inputPath);
+        if (!file)
+            fatal("cannot open input '", cli.inputPath, "'");
+        in = &file;
+    }
+
+    try {
+        PredictionService service =
+            PredictionService::fromFile(cli.modelPath, serve_options);
+        const std::vector<Metric> metrics = service.metrics();
+        inform("serving '", cli.modelPath, "' (",
+               service.artifact().tag().empty()
+                   ? "untagged"
+                   : service.artifact().tag(),
+               "), ", metrics.size(), " metrics, pool of ",
+               service.poolThreads() + 1, " threads");
+        writeHeader(metrics);
+
+        std::vector<MicroarchConfig> batch;
+        batch.reserve(cli.batch);
+        std::string line;
+        std::size_t line_no = 0;
+        auto flush = [&] {
+            if (batch.empty())
+                return;
+            const auto rows = service.predict(batch);
+            writeBatch(batch, rows, metrics);
+            batch.clear();
+        };
+        while (std::getline(*in, line)) {
+            ++line_no;
+            MicroarchConfig config;
+            if (!parseQuery(line, line_no, config))
+                continue;
+            batch.push_back(config);
+            if (batch.size() == cli.batch)
+                flush();
+        }
+        flush();
+
+        if (cli.printStats) {
+            const ServiceStats stats = service.stats();
+            std::fprintf(stderr,
+                         "stats: %llu batches, %llu points, "
+                         "mean %.3f ms/batch (min %.3f, max %.3f), "
+                         "%.0f points/s\n",
+                         static_cast<unsigned long long>(stats.batches),
+                         static_cast<unsigned long long>(stats.points),
+                         stats.meanMs(), stats.minMs, stats.maxMs,
+                         stats.pointsPerSecond());
+        }
+    } catch (const SerializationError &err) {
+        fatal("cannot serve '", cli.modelPath, "': ", err.what());
+    }
+    return 0;
+}
