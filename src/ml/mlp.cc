@@ -131,8 +131,15 @@ Mlp::forwardScaled(const std::vector<double> &xz,
         // fastTanh keeps the serving hot path off libm's ~20 ns tanh;
         // its ~5e-9 absolute error is far below the network's own fit
         // error, and training uses the same activation so the model is
-        // consistent with its own inference.
+        // consistent with its own inference. Note the numerics differ
+        // from a pure-libm build (error amplified over training
+        // epochs); configure with -DACDSE_FAST_TANH=OFF to stay on
+        // std::tanh exactly.
+#ifdef ACDSE_NO_FAST_TANH
+        const double activation = std::tanh(acc);
+#else
         const double activation = fastTanh(acc);
+#endif
         if (hidden)
             (*hidden)[j] = activation;
         out += outputWeights_[j] * activation;

@@ -121,20 +121,29 @@ PredictionService::workerLoop()
             if (shutdown_)
                 return;
             seen_generation = generation_;
+            // A worker can wake after the batch it was notified for
+            // has fully completed (the pointers are then already
+            // cleared); there is nothing left to claim in that case.
+            if (!batchQueries_ || !batchRows_)
+                continue;
             queries = batchQueries_;
             rows = batchRows_;
             num_chunks = batchChunks_;
+            // Register under the same lock that published the batch:
+            // from here until the matching decrement below, predict()
+            // must not return (its queries/rows would be destroyed out
+            // from under the drain) and no later batch may reset
+            // nextChunk_ (this worker's claims would then land on the
+            // freed previous batch and corrupt the new batch's done
+            // count).
+            ++activeWorkers_;
         }
-        // A worker can wake after the batch it was notified for has
-        // fully completed (the pointers are then already cleared);
-        // there is nothing left to claim in that case.
-        if (!queries || !rows)
-            continue;
         const std::size_t done = drainChunks(*queries, *rows, num_chunks);
-        if (done) {
+        {
             std::lock_guard<std::mutex> lock(mutex_);
             chunksDone_ += done;
-            if (chunksDone_ == batchChunks_)
+            --activeWorkers_;
+            if (chunksDone_ == batchChunks_ && activeWorkers_ == 0)
                 doneCv_.notify_all();
         }
     }
@@ -167,7 +176,12 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
         const std::size_t done = drainChunks(queries, rows, num_chunks);
         std::unique_lock<std::mutex> lock(mutex_);
         chunksDone_ += done;
-        doneCv_.wait(lock, [&] { return chunksDone_ == batchChunks_; });
+        // Wait for every chunk AND for every registered worker to have
+        // left the batch: a worker that copied the batch pointers but
+        // has not claimed a chunk yet must not outlive queries/rows.
+        doneCv_.wait(lock, [&] {
+            return chunksDone_ == batchChunks_ && activeWorkers_ == 0;
+        });
         batchQueries_ = nullptr;
         batchRows_ = nullptr;
     }

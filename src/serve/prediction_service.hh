@@ -181,6 +181,15 @@ class PredictionService
     std::vector<PredictionRow> *batchRows_ = nullptr;
     std::size_t batchChunks_ = 0;
     std::size_t chunksDone_ = 0;
+    /**
+     * Workers currently between copying the batch pointers and folding
+     * their results back in. predict() waits for this to reach zero --
+     * not just for every chunk to be computed -- before returning and
+     * before a later batch may reset nextChunk_: a worker that woke
+     * late still holds the old batch's pointers, and letting a new
+     * batch start would send its chunk claims at freed memory.
+     */
+    std::size_t activeWorkers_ = 0;
     std::atomic<std::size_t> nextChunk_{0};
 
     // Serialises public predict() callers.

@@ -124,6 +124,48 @@ TEST(PredictionService, ThreadPoolMatchesSingleThread)
     }
 }
 
+/**
+ * Regression test for the stale-worker hand-off race: a worker that
+ * wakes for a batch only after the batch has completed must not claim
+ * chunks of the *next* batch against the previous batch's (destroyed)
+ * queries/rows. Tiny back-to-back batches with one-point chunks and a
+ * wide pool maximise the window where a late worker still holds the
+ * old batch pointers while a new batch resets the chunk cursor; the
+ * symptom of the race is rows of the new batch left NaN (its chunk 0
+ * was "done" by the stale worker against the old batch).
+ */
+TEST(PredictionService, BackToBackBatchesNeverDropChunks)
+{
+    const ModelArtifact artifact = twoMetricArtifact();
+
+    ServeOptions single;
+    single.threads = 1;
+    PredictionService reference(artifact, single);
+
+    ServeOptions churn;
+    churn.threads = 8;
+    churn.chunk = 1;       // one point per claim: maximal hand-off churn
+    churn.inlineBelow = 0; // force the pool path even for tiny batches
+    PredictionService service(artifact, churn);
+
+    const auto all = DesignSpace::sampleValidConfigs(3, 7);
+    const std::vector<MicroarchConfig> queries(all.begin(),
+                                               all.begin() + 2);
+    const auto expected = reference.predict(queries);
+    for (int round = 0; round < 2000; ++round) {
+        const auto rows = service.predict(queries);
+        ASSERT_EQ(rows.size(), queries.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            ASSERT_EQ(rows[i].get(Metric::Cycles),
+                      expected[i].get(Metric::Cycles))
+                << "round " << round << " row " << i;
+            ASSERT_EQ(rows[i].get(Metric::Energy),
+                      expected[i].get(Metric::Energy))
+                << "round " << round << " row " << i;
+        }
+    }
+}
+
 TEST(PredictionService, CountersAddUp)
 {
     ServeOptions options;

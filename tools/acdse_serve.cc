@@ -23,7 +23,9 @@
  * given.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -65,6 +67,20 @@ usage(const char *argv0)
     std::exit(2);
 }
 
+/** Parse a flag's value as an unsigned count; fatal on anything else. */
+std::size_t
+parseCount(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        fatal(flag, " expects an unsigned integer, got '", text, "'");
+    }
+    return static_cast<std::size_t>(parsed);
+}
+
 CliOptions
 parseArgs(int argc, char **argv)
 {
@@ -80,11 +96,9 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--input")) {
             options.inputPath = value(i);
         } else if (!std::strcmp(argv[i], "--batch")) {
-            options.batch =
-                static_cast<std::size_t>(std::atoll(value(i)));
+            options.batch = parseCount("--batch", value(i));
         } else if (!std::strcmp(argv[i], "--threads")) {
-            options.threads =
-                static_cast<std::size_t>(std::atoll(value(i)));
+            options.threads = parseCount("--threads", value(i));
         } else if (!std::strcmp(argv[i], "--stats")) {
             options.printStats = true;
         } else if (!std::strcmp(argv[i], "--help") ||
