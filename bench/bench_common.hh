@@ -8,14 +8,14 @@
  * for recorded paper-vs-measured values.
  */
 
-#ifndef ACDSE_BENCH_BENCH_COMMON_HH
-#define ACDSE_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "base/parse.hh"
 #include "core/campaign.hh"
 #include "trace/suites.hh"
 
@@ -38,7 +38,8 @@ repeats()
 {
     if (const char *value = std::getenv("ACDSE_REPEATS");
         value && *value) {
-        return std::strtoull(value, nullptr, 10);
+        return static_cast<std::size_t>(
+            parseU64OrDie("ACDSE_REPEATS", value));
     }
     return 3;
 }
@@ -96,4 +97,3 @@ suiteIndices(const Campaign &campaign, Suite suite)
 } // namespace bench
 } // namespace acdse
 
-#endif // ACDSE_BENCH_BENCH_COMMON_HH

@@ -5,8 +5,7 @@
  * sampled space, pooled over the SPEC CPU 2000 programs.
  */
 
-#ifndef ACDSE_BENCH_BENCH_PARAM_IMPACT_HH
-#define ACDSE_BENCH_BENCH_PARAM_IMPACT_HH
+#pragma once
 
 #include <cstdio>
 #include <iostream>
@@ -51,4 +50,3 @@ runParamImpact(Metric metric, const char *figure)
 } // namespace bench
 } // namespace acdse
 
-#endif // ACDSE_BENCH_BENCH_PARAM_IMPACT_HH

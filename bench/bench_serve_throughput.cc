@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arch/design_space.hh"
+#include "base/parse.hh"
 #include "serve/prediction_service.hh"
 
 using namespace acdse;
@@ -37,7 +38,7 @@ std::size_t
 envSize(const char *name, std::size_t fallback)
 {
     if (const char *value = std::getenv(name); value && *value)
-        return std::strtoull(value, nullptr, 10);
+        return static_cast<std::size_t>(parseU64OrDie(name, value));
     return fallback;
 }
 

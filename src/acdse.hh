@@ -16,8 +16,7 @@
  * @endcode
  */
 
-#ifndef ACDSE_ACDSE_HH
-#define ACDSE_ACDSE_HH
+#pragma once
 
 // Design space (Table 1 / Table 2).
 #include "arch/design_space.hh"
@@ -55,4 +54,3 @@
 #include "serve/model_store.hh"
 #include "serve/prediction_service.hh"
 
-#endif // ACDSE_ACDSE_HH

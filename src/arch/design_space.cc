@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -88,7 +89,7 @@ MicroarchConfig
 DesignSpace::baseline()
 {
     MicroarchConfig config;
-    ACDSE_ASSERT(isValid(config), "baseline configuration must be valid");
+    ACDSE_CHECK(isValid(config), "baseline configuration must be valid");
     return config;
 }
 

@@ -4,8 +4,7 @@
  * filtering and uniform random sampling (paper Sections 3.1 and 3.3).
  */
 
-#ifndef ACDSE_ARCH_DESIGN_SPACE_HH
-#define ACDSE_ARCH_DESIGN_SPACE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,4 +67,3 @@ class DesignSpace
 
 } // namespace acdse
 
-#endif // ACDSE_ARCH_DESIGN_SPACE_HH

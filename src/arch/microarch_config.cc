@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -18,7 +19,7 @@ MicroarchConfig::MicroarchConfig(const std::array<int, kNumParams> &values)
     : values_(values)
 {
     for (std::size_t i = 0; i < kNumParams; ++i) {
-        ACDSE_ASSERT(paramSpecs()[i].contains(values_[i]),
+        ACDSE_CHECK(paramSpecs()[i].contains(values_[i]),
                      "illegal value ", values_[i], " for parameter ",
                      paramSpecs()[i].name);
     }
@@ -27,7 +28,7 @@ MicroarchConfig::MicroarchConfig(const std::array<int, kNumParams> &values)
 void
 MicroarchConfig::set(Param p, int value)
 {
-    ACDSE_ASSERT(paramSpec(p).contains(value), "illegal value ", value,
+    ACDSE_CHECK(paramSpec(p).contains(value), "illegal value ", value,
                  " for parameter ", paramSpec(p).name);
     values_[static_cast<std::size_t>(p)] = value;
 }

@@ -4,8 +4,7 @@
  * for all 13 varied parameters.
  */
 
-#ifndef ACDSE_ARCH_MICROARCH_CONFIG_HH
-#define ACDSE_ARCH_MICROARCH_CONFIG_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -93,4 +92,3 @@ class MicroarchConfig
 
 } // namespace acdse
 
-#endif // ACDSE_ARCH_MICROARCH_CONFIG_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -58,7 +59,7 @@ std::size_t
 ParamSpec::indexOf(int value) const
 {
     auto it = std::find(values.begin(), values.end(), value);
-    ACDSE_ASSERT(it != values.end(), "value ", value,
+    ACDSE_CHECK(it != values.end(), "value ", value,
                  " is not legal for parameter ", name);
     return static_cast<std::size_t>(it - values.begin());
 }
@@ -97,7 +98,7 @@ fixedParams()
 FunctionalUnitCounts
 functionalUnitsForWidth(int width)
 {
-    ACDSE_ASSERT(width >= 1, "width must be positive");
+    ACDSE_CHECK(width >= 1, "width must be positive");
     return {
         width,
         std::max(1, width / 2),

@@ -8,8 +8,7 @@
  * architectural sense" (Section 3.1).
  */
 
-#ifndef ACDSE_ARCH_PARAMETER_HH
-#define ACDSE_ARCH_PARAMETER_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -120,4 +119,3 @@ FunctionalUnitCounts functionalUnitsForWidth(int width);
 
 } // namespace acdse
 
-#endif // ACDSE_ARCH_PARAMETER_HH

@@ -14,8 +14,7 @@
  * reject a bad artifact without dying.
  */
 
-#ifndef ACDSE_BASE_BINARY_IO_HH
-#define ACDSE_BASE_BINARY_IO_HH
+#pragma once
 
 #include <cstdint>
 #include <stdexcept>
@@ -112,4 +111,3 @@ std::uint64_t fnv1a64(std::string_view data);
 
 } // namespace acdse
 
-#endif // ACDSE_BASE_BINARY_IO_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Contract-check macros for trust boundaries.
+ *
+ * Three tiers, all reporting file:line plus an optional streamed
+ * message through panic():
+ *
+ *  - ACDSE_CHECK        always on. For boundaries crossed rarely
+ *                       (artifact load, config validation, batch
+ *                       set-up) where the cost is unmeasurable.
+ *  - ACDSE_DCHECK       compiled out in release builds (NDEBUG without
+ *                       ACDSE_ENABLE_DCHECK); the condition is not
+ *                       evaluated, so it is free on hot paths such as
+ *                       per-element Matrix indexing and the serving
+ *                       predict loop. Sanitizer builds turn it on.
+ *  - ACDSE_CHECK_FINITE always on; checks a double for NaN/inf and
+ *                       includes the offending value in the message.
+ *
+ * ACDSE_DCHECK_ENABLED is 1/0 so tests (and the rare caller that wants
+ * to precompute something only a DCHECK consumes) can branch on it.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+/** panic() with file:line context unless the condition holds. */
+#define ACDSE_CHECK(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::acdse::panic("check '" #cond "' failed at ", __FILE__, ":",   \
+                           __LINE__, " ", ##__VA_ARGS__);                   \
+        }                                                                   \
+    } while (0)
+
+#if !defined(NDEBUG) || defined(ACDSE_ENABLE_DCHECK)
+#define ACDSE_DCHECK_ENABLED 1
+/** ACDSE_CHECK in debug/sanitizer builds; vanishes in release. */
+#define ACDSE_DCHECK(cond, ...) ACDSE_CHECK(cond, ##__VA_ARGS__)
+#else
+#define ACDSE_DCHECK_ENABLED 0
+#define ACDSE_DCHECK(cond, ...)                                             \
+    do {                                                                    \
+        /* Never evaluated; keeps the condition compiling. */               \
+        if (false && (cond)) {                                              \
+        }                                                                   \
+    } while (0)
+#endif
+
+/** panic() unless the double-valued expression is finite. */
+#define ACDSE_CHECK_FINITE(value, ...)                                      \
+    do {                                                                    \
+        const double acdse_check_finite_v_ = (value);                       \
+        if (!std::isfinite(acdse_check_finite_v_)) {                        \
+            ::acdse::panic("'" #value "' is not finite (",                  \
+                           acdse_check_finite_v_, ") at ", __FILE__, ":",   \
+                           __LINE__, " ", ##__VA_ARGS__);                   \
+        }                                                                   \
+    } while (0)

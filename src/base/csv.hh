@@ -5,8 +5,7 @@
  * and numbers.
  */
 
-#ifndef ACDSE_BASE_CSV_HH
-#define ACDSE_BASE_CSV_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -46,4 +45,3 @@ std::vector<std::string> splitCsvLine(const std::string &line);
 
 } // namespace acdse
 
-#endif // ACDSE_BASE_CSV_HH

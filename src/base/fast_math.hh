@@ -11,8 +11,7 @@
  * under the predictors' own model error) with an exact exp-based tail.
  */
 
-#ifndef ACDSE_BASE_FAST_MATH_HH
-#define ACDSE_BASE_FAST_MATH_HH
+#pragma once
 
 namespace acdse
 {
@@ -31,4 +30,3 @@ double fastTanh(double x);
 
 } // namespace acdse
 
-#endif // ACDSE_BASE_FAST_MATH_HH

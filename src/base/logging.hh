@@ -4,11 +4,11 @@
  *
  * Follows the gem5 convention: fatal() for user errors (bad arguments,
  * impossible configuration requests), panic() for internal invariant
- * violations, warn()/inform() for non-fatal status messages.
+ * violations, warn()/inform() for non-fatal status messages. The
+ * contract-check macros built on panic() live in base/check.hh.
  */
 
-#ifndef ACDSE_BASE_LOGGING_HH
-#define ACDSE_BASE_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -78,15 +78,5 @@ inform(Args &&...args)
                  detail::concat(std::forward<Args>(args)...).c_str());
 }
 
-/** panic() unless the given condition holds. */
-#define ACDSE_ASSERT(cond, ...)                                             \
-    do {                                                                    \
-        if (!(cond)) {                                                      \
-            ::acdse::panic("assertion '" #cond "' failed at ", __FILE__,    \
-                           ":", __LINE__, " ", ##__VA_ARGS__);              \
-        }                                                                   \
-    } while (0)
-
 } // namespace acdse
 
-#endif // ACDSE_BASE_LOGGING_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -52,7 +53,7 @@ Rng::next()
 std::uint64_t
 Rng::nextBounded(std::uint64_t bound)
 {
-    ACDSE_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    ACDSE_CHECK(bound > 0, "nextBounded requires a positive bound");
     // Rejection sampling to avoid modulo bias.
     const std::uint64_t threshold = -bound % bound;
     for (;;) {
@@ -65,7 +66,7 @@ Rng::nextBounded(std::uint64_t bound)
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
-    ACDSE_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    ACDSE_CHECK(lo <= hi, "nextRange requires lo <= hi");
     const std::uint64_t span =
         static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(nextBounded(span));
@@ -105,7 +106,7 @@ Rng::nextGaussian()
 std::uint64_t
 Rng::nextGeometric(double mean)
 {
-    ACDSE_ASSERT(mean >= 1.0, "geometric mean must be >= 1");
+    ACDSE_CHECK(mean >= 1.0, "geometric mean must be >= 1");
     if (mean == 1.0)
         return 1;
     // Success probability so that E[X] = mean for X in {1, 2, ...}.
@@ -127,7 +128,7 @@ Rng::nextDiscrete(const std::vector<double> &weights)
     double total = 0.0;
     for (double w : weights)
         total += w;
-    ACDSE_ASSERT(total > 0.0, "discrete distribution needs positive mass");
+    ACDSE_CHECK(total > 0.0, "discrete distribution needs positive mass");
     double target = nextDouble() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         target -= weights[i];

@@ -7,8 +7,7 @@
  * that every experiment is exactly reproducible from its seed.
  */
 
-#ifndef ACDSE_BASE_RNG_HH
-#define ACDSE_BASE_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -82,4 +81,3 @@ class Rng
 
 } // namespace acdse
 
-#endif // ACDSE_BASE_RNG_HH

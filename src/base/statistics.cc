@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -43,7 +44,7 @@ stddev(std::span<const double> xs)
 double
 covariance(std::span<const double> xs, std::span<const double> ys)
 {
-    ACDSE_ASSERT(xs.size() == ys.size(), "covariance needs equal sizes");
+    ACDSE_CHECK(xs.size() == ys.size(), "covariance needs equal sizes");
     if (xs.size() < 2)
         return 0.0;
     const double mx = mean(xs);
@@ -67,7 +68,7 @@ correlation(std::span<const double> xs, std::span<const double> ys)
 double
 rmae(std::span<const double> predictions, std::span<const double> actuals)
 {
-    ACDSE_ASSERT(predictions.size() == actuals.size(),
+    ACDSE_CHECK(predictions.size() == actuals.size(),
                  "rmae needs equal sizes");
     double total = 0.0;
     std::size_t counted = 0;
@@ -83,8 +84,8 @@ rmae(std::span<const double> predictions, std::span<const double> actuals)
 double
 quantile(std::span<const double> xs, double q)
 {
-    ACDSE_ASSERT(!xs.empty(), "quantile of empty sample");
-    ACDSE_ASSERT(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+    ACDSE_CHECK(!xs.empty(), "quantile of empty sample");
+    ACDSE_CHECK(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
     const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -131,7 +132,7 @@ RunningStats::stddev() const
 double
 euclideanDistance(std::span<const double> xs, std::span<const double> ys)
 {
-    ACDSE_ASSERT(xs.size() == ys.size(), "distance needs equal sizes");
+    ACDSE_CHECK(xs.size() == ys.size(), "distance needs equal sizes");
     double total = 0.0;
     for (std::size_t i = 0; i < xs.size(); ++i) {
         const double d = xs[i] - ys[i];

@@ -7,8 +7,7 @@
  * correlation coefficient.
  */
 
-#ifndef ACDSE_BASE_STATISTICS_HH
-#define ACDSE_BASE_STATISTICS_HH
+#pragma once
 
 #include <cstddef>
 #include <span>
@@ -109,4 +108,3 @@ double euclideanDistance(std::span<const double> xs,
 } // namespace stats
 } // namespace acdse
 
-#endif // ACDSE_BASE_STATISTICS_HH

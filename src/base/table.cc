@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -15,7 +16,7 @@ Table::Table(std::vector<std::string> header) : header(std::move(header))
 void
 Table::addRow(std::vector<std::string> row)
 {
-    ACDSE_ASSERT(row.size() == header.size(),
+    ACDSE_CHECK(row.size() == header.size(),
                  "row width ", row.size(), " != header width ",
                  header.size());
     rows.push_back(std::move(row));

@@ -6,8 +6,7 @@
  * uniform across experiments.
  */
 
-#ifndef ACDSE_BASE_TABLE_HH
-#define ACDSE_BASE_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -54,4 +53,3 @@ class Table
 
 } // namespace acdse
 
-#endif // ACDSE_BASE_TABLE_HH

@@ -1,6 +1,7 @@
 #include "core/architecture_centric_predictor.hh"
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 
@@ -17,7 +18,7 @@ void
 ArchitectureCentricPredictor::trainOffline(
     const std::vector<ProgramTrainingSet> &trainingSets)
 {
-    ACDSE_ASSERT(!trainingSets.empty(),
+    ACDSE_CHECK(!trainingSets.empty(),
                  "need at least one offline training program");
     programNames_.clear();
     programModels_.clear();
@@ -37,11 +38,11 @@ ArchitectureCentricPredictor::useModels(
     std::vector<std::string> names,
     std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models)
 {
-    ACDSE_ASSERT(!models.empty(), "need at least one program model");
-    ACDSE_ASSERT(names.size() == models.size(),
+    ACDSE_CHECK(!models.empty(), "need at least one program model");
+    ACDSE_CHECK(names.size() == models.size(),
                  "names/models size mismatch");
     for (const auto &model : models)
-        ACDSE_ASSERT(model && model->trained(), "model not trained");
+        ACDSE_CHECK(model && model->trained(), "model not trained");
     programNames_ = std::move(names);
     programModels_ = std::move(models);
     offlineTrained_ = true;
@@ -63,10 +64,10 @@ ArchitectureCentricPredictor::fitResponses(
     const std::vector<MicroarchConfig> &configs,
     const std::vector<double> &values)
 {
-    ACDSE_ASSERT(offlineTrained_, "fitResponses before trainOffline");
-    ACDSE_ASSERT(configs.size() == values.size(),
+    ACDSE_CHECK(offlineTrained_, "fitResponses before trainOffline");
+    ACDSE_CHECK(configs.size() == values.size(),
                  "configs/values size mismatch");
-    ACDSE_ASSERT(!configs.empty(), "need at least one response");
+    ACDSE_CHECK(!configs.empty(), "need at least one response");
 
     std::vector<std::vector<double>> xs;
     xs.reserve(configs.size());
@@ -93,7 +94,7 @@ double
 ArchitectureCentricPredictor::predictFromFeatures(
     const std::vector<double> &features, PredictScratch &scratch) const
 {
-    ACDSE_ASSERT(ready(), "predict before training/responses");
+    ACDSE_DCHECK(ready(), "predict before training/responses");
     scratch.ensemble.resize(programModels_.size());
     for (std::size_t i = 0; i < programModels_.size(); ++i) {
         scratch.ensemble[i] =
@@ -106,7 +107,7 @@ ArchitectureCentricPredictor::predictFromFeatures(
 void
 ArchitectureCentricPredictor::save(BinaryWriter &w) const
 {
-    ACDSE_ASSERT(offlineTrained_,
+    ACDSE_CHECK(offlineTrained_,
                  "cannot save before the offline phase");
     w.f64(options_.ridge);
     w.u8(options_.intercept ? 1 : 0);
@@ -155,7 +156,7 @@ ArchitectureCentricPredictor::load(BinaryReader &r)
 const std::vector<double> &
 ArchitectureCentricPredictor::weights() const
 {
-    ACDSE_ASSERT(responsesFitted_, "weights before fitResponses");
+    ACDSE_CHECK(responsesFitted_, "weights before fitResponses");
     return regressor_.weights();
 }
 

@@ -11,8 +11,7 @@
  * 13-parameter design space for the new program.
  */
 
-#ifndef ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH
-#define ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -129,6 +128,18 @@ class ArchitectureCentricPredictor
     /** Whether both phases have completed. */
     bool ready() const { return offlineTrained_ && responsesFitted_; }
 
+    /**
+     * Feature-vector width the ensemble expects (0 before the offline
+     * phase). Boundary code -- the prediction service -- checks this
+     * against kNumParams once per artifact, so the per-point predict
+     * path can keep its width checks as debug-only DCHECKs.
+     */
+    std::size_t featureDim() const
+    {
+        return programModels_.empty() ? 0
+                                      : programModels_.front()->inputDim();
+    }
+
     /** Whether the offline phase has completed. */
     bool offlineTrained() const { return offlineTrained_; }
 
@@ -159,4 +170,3 @@ class ArchitectureCentricPredictor
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_ARCHITECTURE_CENTRIC_PREDICTOR_HH

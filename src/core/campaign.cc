@@ -9,8 +9,10 @@
 #include <unordered_set>
 
 #include "arch/design_space.hh"
+#include "base/check.hh"
 #include "base/csv.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "sim/simulator.hh"
 #include "trace/suites.hh"
 #include "trace/trace_generator.hh"
@@ -27,12 +29,7 @@ envSize(const char *name, std::size_t fallback)
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end == value || *end != '\0')
-        fatal("environment variable ", name, " is not a number: '",
-              value, "'");
-    return static_cast<std::size_t>(parsed);
+    return static_cast<std::size_t>(parseU64OrDie(name, value));
 }
 
 } // namespace
@@ -54,9 +51,9 @@ CampaignOptions::fromEnvironment()
 
 Campaign::Campaign(std::vector<std::string> programs,
                    CampaignOptions options)
-    : options_(options), programs_(std::move(programs))
+    : options_(std::move(options)), programs_(std::move(programs))
 {
-    ACDSE_ASSERT(!programs_.empty(), "campaign needs programs");
+    ACDSE_CHECK(!programs_.empty(), "campaign needs programs");
     for (const auto &name : programs_)
         profileByName(name); // validates the name
     configs_ = DesignSpace::sampleValidConfigs(options_.numConfigs,
@@ -88,7 +85,7 @@ Campaign::programIndex(const std::string &name) const
 const Trace &
 Campaign::trace(std::size_t programIdx)
 {
-    ACDSE_ASSERT(programIdx < programs_.size(), "bad program index");
+    ACDSE_CHECK(programIdx < programs_.size(), "bad program index");
     auto &slot = traces_[programIdx];
     if (!slot) {
         TraceGenerator generator(profileByName(programs_[programIdx]));
@@ -138,13 +135,15 @@ Campaign::loadCache()
         auto cit = config_index.find(row[1]);
         if (pit == program_index.end() || cit == config_index.end())
             continue;
-        const double cycles = std::strtod(row[2].c_str(), nullptr);
-        const double energy = std::strtod(row[3].c_str(), nullptr);
-        if (cycles <= 0.0 || energy <= 0.0)
+        // Malformed numbers are skipped, not fatal: a cache row is a
+        // disposable memo and the simulation can always be redone.
+        const auto cycles = parseF64(row[2]);
+        const auto energy = parseF64(row[3]);
+        if (!cycles || !energy || *cycles <= 0.0 || *energy <= 0.0)
             continue;
         const std::size_t cell =
             pit->second * configs_.size() + cit->second;
-        results_[cell] = Metrics::fromCyclesEnergy(cycles, energy);
+        results_[cell] = Metrics::fromCyclesEnergy(*cycles, *energy);
         computed_[cell] = true;
         ++loaded;
     }
@@ -171,7 +170,7 @@ Campaign::saveCache() const
         for (const auto &name : programs_)
             ours.insert(name);
         for (auto &row : existing.rows) {
-            if (!ours.count(row[0]))
+            if (!ours.contains(row[0]))
                 file.rows.push_back(std::move(row));
         }
     }
@@ -274,10 +273,10 @@ Campaign::ensureComputed()
 const Metrics &
 Campaign::result(std::size_t programIdx, std::size_t configIdx) const
 {
-    ACDSE_ASSERT(programIdx < programs_.size(), "bad program index");
-    ACDSE_ASSERT(configIdx < configs_.size(), "bad config index");
+    ACDSE_CHECK(programIdx < programs_.size(), "bad program index");
+    ACDSE_CHECK(configIdx < configs_.size(), "bad config index");
     const std::size_t cell = programIdx * configs_.size() + configIdx;
-    ACDSE_ASSERT(computed_[cell],
+    ACDSE_CHECK(computed_[cell],
                  "result accessed before ensureComputed()");
     return results_[cell];
 }
@@ -309,7 +308,7 @@ Campaign::configsAt(const std::vector<std::size_t> &idx) const
     std::vector<MicroarchConfig> subset;
     subset.reserve(idx.size());
     for (std::size_t c : idx) {
-        ACDSE_ASSERT(c < configs_.size(), "bad config index");
+        ACDSE_CHECK(c < configs_.size(), "bad config index");
         subset.push_back(configs_[c]);
     }
     return subset;

@@ -13,8 +13,7 @@
  *  - ACDSE_THREADS     worker threads           (default hw parallelism)
  */
 
-#ifndef ACDSE_CORE_CAMPAIGN_HH
-#define ACDSE_CORE_CAMPAIGN_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -120,4 +119,3 @@ class Campaign
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_CAMPAIGN_HH

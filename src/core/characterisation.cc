@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "arch/design_space.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "sim/simulator.hh"
 
@@ -36,7 +37,7 @@ extremeValueFrequencies(const Campaign &campaign, Metric metric,
 {
     const std::vector<std::size_t> programs =
         resolvePrograms(campaign, programIdx);
-    ACDSE_ASSERT(fraction > 0.0 && fraction <= 0.5,
+    ACDSE_CHECK(fraction > 0.0 && fraction <= 0.5,
                  "extreme fraction out of range");
     const std::size_t num_configs = campaign.configs().size();
     const std::size_t extreme = std::max<std::size_t>(
@@ -149,7 +150,7 @@ programDistanceMatrix(Campaign &campaign, Metric metric,
         const std::size_t p = programs[i];
         rows[i] = campaign.metricRow(p, metric);
         const double norm = baselines[p].get(metric);
-        ACDSE_ASSERT(norm > 0.0, "baseline metric must be positive");
+        ACDSE_CHECK(norm > 0.0, "baseline metric must be positive");
         for (double &x : rows[i])
             x /= norm;
     }

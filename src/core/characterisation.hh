@@ -5,8 +5,7 @@
  * per-program variation (Fig. 4) and program similarity (Fig. 5).
  */
 
-#ifndef ACDSE_CORE_CHARACTERISATION_HH
-#define ACDSE_CORE_CHARACTERISATION_HH
+#pragma once
 
 #include <vector>
 
@@ -75,4 +74,3 @@ std::vector<Metrics> baselineMetrics(Campaign &campaign);
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_CHARACTERISATION_HH

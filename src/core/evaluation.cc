@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -12,7 +13,7 @@ namespace acdse
 std::vector<std::size_t>
 sampleIndices(std::size_t limit, std::size_t count, std::uint64_t seed)
 {
-    ACDSE_ASSERT(count <= limit, "cannot sample ", count, " of ", limit);
+    ACDSE_CHECK(count <= limit, "cannot sample ", count, " of ", limit);
     std::vector<std::size_t> all(limit);
     std::iota(all.begin(), all.end(), 0);
     Rng rng(seed);
@@ -133,7 +134,7 @@ Evaluator::evaluateArchCentric(
     std::size_t r, std::uint64_t seed)
 {
     for (std::size_t p : trainingPrograms) {
-        ACDSE_ASSERT(p != testProgramIdx,
+        ACDSE_CHECK(p != testProgramIdx,
                      "test program must not be in the training set");
     }
     ArchitectureCentricPredictor predictor =

@@ -5,8 +5,7 @@
  * design space, scored with rmae and the correlation coefficient.
  */
 
-#ifndef ACDSE_CORE_EVALUATION_HH
-#define ACDSE_CORE_EVALUATION_HH
+#pragma once
 
 #include <map>
 #include <memory>
@@ -122,4 +121,3 @@ scorePredictions(const Campaign &campaign, std::size_t programIdx,
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_EVALUATION_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -27,19 +28,19 @@ programFeatureVector(const Trace &trace)
 FeatureBasedPredictor::FeatureBasedPredictor(FeatureBasedOptions options)
     : options_(options)
 {
-    ACDSE_ASSERT(options_.bandwidth > 0.0, "bandwidth must be positive");
+    ACDSE_CHECK(options_.bandwidth > 0.0, "bandwidth must be positive");
 }
 
 void
 FeatureBasedPredictor::trainOffline(
     const std::vector<FeatureTrainingSet> &sets)
 {
-    ACDSE_ASSERT(!sets.empty(), "need at least one training program");
+    ACDSE_CHECK(!sets.empty(), "need at least one training program");
     names_.clear();
     features_.clear();
     models_.clear();
     for (const auto &set : sets) {
-        ACDSE_ASSERT(!set.features.empty(), "missing program features");
+        ACDSE_CHECK(!set.features.empty(), "missing program features");
         auto model = std::make_shared<ProgramSpecificPredictor>(
             options_.programModel);
         model->train(set.configs, set.values);
@@ -54,7 +55,7 @@ FeatureBasedPredictor::trainOffline(
     featureMean_.assign(dims, 0.0);
     featureScale_.assign(dims, 1.0);
     for (const auto &f : features_) {
-        ACDSE_ASSERT(f.size() == dims, "inconsistent feature widths");
+        ACDSE_CHECK(f.size() == dims, "inconsistent feature widths");
         for (std::size_t d = 0; d < dims; ++d)
             featureMean_[d] += f[d];
     }
@@ -78,8 +79,8 @@ void
 FeatureBasedPredictor::setTargetFeatures(
     const std::vector<double> &features)
 {
-    ACDSE_ASSERT(trained_, "setTargetFeatures before trainOffline");
-    ACDSE_ASSERT(features.size() == featureMean_.size(),
+    ACDSE_CHECK(trained_, "setTargetFeatures before trainOffline");
+    ACDSE_CHECK(features.size() == featureMean_.size(),
                  "feature width mismatch");
 
     weights_.assign(models_.size(), 0.0);
@@ -97,7 +98,7 @@ FeatureBasedPredictor::setTargetFeatures(
             -d2 / (2.0 * options_.bandwidth * options_.bandwidth));
         total += weights_[j];
     }
-    ACDSE_ASSERT(total > 0.0, "degenerate kernel weights");
+    ACDSE_CHECK(total > 0.0, "degenerate kernel weights");
     for (double &w : weights_)
         w /= total;
     targeted_ = true;
@@ -106,7 +107,7 @@ FeatureBasedPredictor::setTargetFeatures(
 double
 FeatureBasedPredictor::predict(const MicroarchConfig &config) const
 {
-    ACDSE_ASSERT(ready(), "predict before training/targeting");
+    ACDSE_CHECK(ready(), "predict before training/targeting");
     double acc = 0.0;
     for (std::size_t j = 0; j < models_.size(); ++j) {
         if (weights_[j] > 1e-9)

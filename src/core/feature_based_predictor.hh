@@ -12,8 +12,7 @@
  * than responses; bench_feature_based quantifies the gap.
  */
 
-#ifndef ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH
-#define ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -97,4 +96,3 @@ class FeatureBasedPredictor
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_FEATURE_BASED_PREDICTOR_HH

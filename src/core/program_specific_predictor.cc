@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -18,9 +19,9 @@ void
 ProgramSpecificPredictor::train(const std::vector<MicroarchConfig> &configs,
                                 const std::vector<double> &values)
 {
-    ACDSE_ASSERT(configs.size() == values.size(),
+    ACDSE_CHECK(configs.size() == values.size(),
                  "configs/values size mismatch");
-    ACDSE_ASSERT(!configs.empty(), "cannot train on no simulations");
+    ACDSE_CHECK(!configs.empty(), "cannot train on no simulations");
     std::vector<std::vector<double>> xs;
     std::vector<double> ys;
     xs.reserve(configs.size());
@@ -28,7 +29,7 @@ ProgramSpecificPredictor::train(const std::vector<MicroarchConfig> &configs,
     for (std::size_t i = 0; i < configs.size(); ++i) {
         xs.push_back(configs[i].asFeatureVector());
         if (options_.logTarget) {
-            ACDSE_ASSERT(values[i] > 0.0,
+            ACDSE_CHECK(values[i] > 0.0,
                          "log-target training needs positive metrics");
             ys.push_back(std::log(values[i]));
         } else {
@@ -65,7 +66,7 @@ ProgramSpecificPredictor::predictFromFeatures(
     const std::vector<double> &features,
     std::vector<double> &scratch) const
 {
-    ACDSE_ASSERT(trained(), "predict before train");
+    ACDSE_CHECK(trained(), "predict before train");
     const double raw = mlp_.predict(features, scratch);
     return options_.logTarget ? std::exp(raw) : raw;
 }

@@ -10,8 +10,7 @@
  * as the state-of-the-art baseline.
  */
 
-#ifndef ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH
-#define ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH
+#pragma once
 
 #include <vector>
 
@@ -69,6 +68,9 @@ class ProgramSpecificPredictor
     /** Whether train() has been called. */
     bool trained() const { return mlp_.trained(); }
 
+    /** Width of the feature vectors the network expects. */
+    std::size_t inputDim() const { return mlp_.inputDim(); }
+
     /** Serialise the trained model (bit-exact round trip). */
     void save(BinaryWriter &w) const;
 
@@ -82,4 +84,3 @@ class ProgramSpecificPredictor
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_PROGRAM_SPECIFIC_PREDICTOR_HH

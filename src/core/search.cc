@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "arch/design_space.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -38,8 +39,8 @@ std::vector<ScoredConfig>
 findBestPredicted(const PredictorFn &predict,
                   const SearchOptions &options)
 {
-    ACDSE_ASSERT(options.sweepSize > 0, "sweep must be non-empty");
-    ACDSE_ASSERT(options.keepTop > 0, "must keep at least one seed");
+    ACDSE_CHECK(options.sweepSize > 0, "sweep must be non-empty");
+    ACDSE_CHECK(options.keepTop > 0, "must keep at least one seed");
 
     // Random sweep.
     Rng rng(options.seed);
@@ -97,7 +98,7 @@ predictedParetoFrontier(const PredictorFn &objectiveA,
                         const PredictorFn &objectiveB,
                         std::size_t sweepSize, std::uint64_t seed)
 {
-    ACDSE_ASSERT(sweepSize > 0, "sweep must be non-empty");
+    ACDSE_CHECK(sweepSize > 0, "sweep must be non-empty");
     Rng rng(seed);
 
     struct Point

@@ -12,8 +12,7 @@
  *    energy).
  */
 
-#ifndef ACDSE_CORE_SEARCH_HH
-#define ACDSE_CORE_SEARCH_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -69,4 +68,3 @@ std::vector<MicroarchConfig> predictedParetoFrontier(
 
 } // namespace acdse
 
-#endif // ACDSE_CORE_SEARCH_HH

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -15,7 +16,7 @@ Dendrogram::members(std::size_t node) const
     if (node < leaves)
         return {node};
     const std::size_t m = node - leaves;
-    ACDSE_ASSERT(m < merges.size(), "bad dendrogram node id");
+    ACDSE_CHECK(m < merges.size(), "bad dendrogram node id");
     auto left = members(merges[m].left);
     auto right = members(merges[m].right);
     left.insert(left.end(), right.begin(), right.end());
@@ -25,7 +26,7 @@ Dendrogram::members(std::size_t node) const
 std::vector<std::size_t>
 Dendrogram::cut(std::size_t k) const
 {
-    ACDSE_ASSERT(k >= 1 && k <= leaves, "bad cluster count");
+    ACDSE_CHECK(k >= 1 && k <= leaves, "bad cluster count");
     // Applying the first (leaves - k) merges leaves exactly k groups.
     std::vector<std::size_t> parent(leaves + merges.size());
     for (std::size_t i = 0; i < parent.size(); ++i)
@@ -61,7 +62,7 @@ Dendrogram::isolationHeight(std::size_t leaf) const
 {
     // Every leaf participates directly in exactly one merge; its height
     // is how far the leaf is from everything else when it finally joins.
-    ACDSE_ASSERT(leaf < leaves, "bad leaf id");
+    ACDSE_CHECK(leaf < leaves, "bad leaf id");
     for (const auto &m : merges) {
         if (m.left == leaf || m.right == leaf)
             return m.height;
@@ -72,7 +73,7 @@ Dendrogram::isolationHeight(std::size_t leaf) const
 std::string
 Dendrogram::render(const std::vector<std::string> &names) const
 {
-    ACDSE_ASSERT(names.size() == leaves, "name count mismatch");
+    ACDSE_CHECK(names.size() == leaves, "name count mismatch");
     std::ostringstream os;
     // Recursive pretty printer, children sorted for stable output.
     auto print = [&](auto &&self, std::size_t node, int depth) -> void {
@@ -98,9 +99,9 @@ Dendrogram
 hierarchicalCluster(const std::vector<std::vector<double>> &dist)
 {
     const std::size_t n = dist.size();
-    ACDSE_ASSERT(n >= 1, "clustering needs at least one item");
+    ACDSE_CHECK(n >= 1, "clustering needs at least one item");
     for (const auto &row : dist)
-        ACDSE_ASSERT(row.size() == n, "distance matrix must be square");
+        ACDSE_CHECK(row.size() == n, "distance matrix must be square");
 
     Dendrogram tree;
     tree.leaves = n;

@@ -5,8 +5,7 @@
  * build the program-similarity dendrograms of Fig. 5.
  */
 
-#ifndef ACDSE_ML_HIERARCHICAL_HH
-#define ACDSE_ML_HIERARCHICAL_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -62,4 +61,3 @@ Dendrogram hierarchicalCluster(const std::vector<std::vector<double>> &dist);
 
 } // namespace acdse
 
-#endif // ACDSE_ML_HIERARCHICAL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/statistics.hh"
@@ -30,8 +31,8 @@ KmeansResult
 kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
        std::uint64_t seed, int maxIters)
 {
-    ACDSE_ASSERT(!points.empty(), "kmeans on no points");
-    ACDSE_ASSERT(k > 0, "kmeans needs k > 0");
+    ACDSE_CHECK(!points.empty(), "kmeans on no points");
+    ACDSE_CHECK(k > 0, "kmeans needs k > 0");
     k = std::min(k, points.size());
     const std::size_t n = points.size();
     Rng rng(seed);

@@ -4,8 +4,7 @@
  * classifier (Sherwood et al., cited as [1] in the paper).
  */
 
-#ifndef ACDSE_ML_KMEANS_HH
-#define ACDSE_ML_KMEANS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -36,4 +35,3 @@ KmeansResult kmeans(const std::vector<std::vector<double>> &points,
 
 } // namespace acdse
 
-#endif // ACDSE_ML_KMEANS_HH

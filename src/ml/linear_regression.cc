@@ -1,6 +1,7 @@
 #include "ml/linear_regression.hh"
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -11,15 +12,15 @@ LinearRegression::fit(const std::vector<std::vector<double>> &xs,
                       const std::vector<double> &ys, double ridge,
                       bool intercept)
 {
-    ACDSE_ASSERT(!xs.empty(), "cannot fit regression on no samples");
-    ACDSE_ASSERT(xs.size() == ys.size(), "xs/ys size mismatch");
+    ACDSE_CHECK(!xs.empty(), "cannot fit regression on no samples");
+    ACDSE_CHECK(xs.size() == ys.size(), "xs/ys size mismatch");
     const std::size_t n = xs.size();
     const std::size_t m = xs.front().size();
     const std::size_t cols = m + (intercept ? 1 : 0);
 
     Matrix x(n, cols);
     for (std::size_t i = 0; i < n; ++i) {
-        ACDSE_ASSERT(xs[i].size() == m, "inconsistent feature widths");
+        ACDSE_CHECK(xs[i].size() == m, "inconsistent feature widths");
         if (intercept)
             x(i, 0) = 1.0;
         for (std::size_t j = 0; j < m; ++j)
@@ -53,7 +54,7 @@ LinearRegression::fit(const std::vector<std::vector<double>> &xs,
         for (std::size_t i = 0; i < cols; ++i)
             fallback(i, i) += 1e-3 * (diag_mean > 0.0 ? diag_mean : 1.0);
         fitted_ = fallback.choleskySolve(rhs, beta);
-        ACDSE_ASSERT(fitted_, "regularised least squares failed");
+        ACDSE_CHECK(fitted_, "regularised least squares failed");
     }
 
     if (intercept) {
@@ -68,7 +69,7 @@ LinearRegression::fit(const std::vector<std::vector<double>> &xs,
 void
 LinearRegression::save(BinaryWriter &w) const
 {
-    ACDSE_ASSERT(fitted_, "cannot save an unfitted regression");
+    ACDSE_CHECK(fitted_, "cannot save an unfitted regression");
     w.f64vec(weights_);
     w.f64(intercept_);
 }
@@ -84,8 +85,8 @@ LinearRegression::load(BinaryReader &r)
 double
 LinearRegression::predict(const std::vector<double> &x) const
 {
-    ACDSE_ASSERT(fitted_, "predict before fit");
-    ACDSE_ASSERT(x.size() == weights_.size(), "feature width mismatch");
+    ACDSE_CHECK(fitted_, "predict before fit");
+    ACDSE_CHECK(x.size() == weights_.size(), "feature width mismatch");
     double acc = intercept_;
     for (std::size_t i = 0; i < x.size(); ++i)
         acc += weights_[i] * x[i];

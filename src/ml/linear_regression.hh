@@ -8,8 +8,7 @@
  * lambda = 0 case being the paper's exact equation (5).
  */
 
-#ifndef ACDSE_ML_LINEAR_REGRESSION_HH
-#define ACDSE_ML_LINEAR_REGRESSION_HH
+#pragma once
 
 #include <vector>
 
@@ -64,4 +63,3 @@ class LinearRegression
 
 } // namespace acdse
 
-#endif // ACDSE_ML_LINEAR_REGRESSION_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -15,7 +16,8 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
 Matrix
 Matrix::multiply(const Matrix &other) const
 {
-    ACDSE_ASSERT(cols_ == other.rows_, "dimension mismatch in multiply");
+    ACDSE_CHECK(cols_ == other.rows_, "multiply shape mismatch: ", rows_,
+                "x", cols_, " * ", other.rows_, "x", other.cols_);
     Matrix out(rows_, other.cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
         for (std::size_t k = 0; k < cols_; ++k) {
@@ -61,7 +63,8 @@ Matrix::gram() const
 std::vector<double>
 Matrix::transposeTimes(const std::vector<double> &y) const
 {
-    ACDSE_ASSERT(y.size() == rows_, "dimension mismatch in A^T y");
+    ACDSE_CHECK(y.size() == rows_, "A^T y shape mismatch: A is ", rows_,
+                "x", cols_, ", y has ", y.size());
     std::vector<double> out(cols_, 0.0);
     for (std::size_t r = 0; r < rows_; ++r)
         for (std::size_t c = 0; c < cols_; ++c)
@@ -72,7 +75,8 @@ Matrix::transposeTimes(const std::vector<double> &y) const
 std::vector<double>
 Matrix::times(const std::vector<double> &x) const
 {
-    ACDSE_ASSERT(x.size() == cols_, "dimension mismatch in A x");
+    ACDSE_CHECK(x.size() == cols_, "A x shape mismatch: A is ", rows_,
+                "x", cols_, ", x has ", x.size());
     std::vector<double> out(rows_, 0.0);
     for (std::size_t r = 0; r < rows_; ++r) {
         double acc = 0.0;
@@ -87,8 +91,9 @@ bool
 Matrix::choleskySolve(const std::vector<double> &b,
                       std::vector<double> &x) const
 {
-    ACDSE_ASSERT(rows_ == cols_, "cholesky needs a square matrix");
-    ACDSE_ASSERT(b.size() == rows_, "rhs dimension mismatch");
+    ACDSE_CHECK(rows_ == cols_, "cholesky needs a square matrix");
+    ACDSE_CHECK(b.size() == rows_, "cholesky rhs has ", b.size(),
+                " entries for an order-", rows_, " system");
     const std::size_t n = rows_;
 
     // Lower-triangular factor L with this = L L^T.

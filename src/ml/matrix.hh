@@ -4,11 +4,12 @@
  * products, transpose-products, and SPD solves via Cholesky).
  */
 
-#ifndef ACDSE_ML_MATRIX_HH
-#define ACDSE_ML_MATRIX_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "base/check.hh"
 
 namespace acdse
 {
@@ -28,14 +29,18 @@ class Matrix
     /** Number of columns. */
     std::size_t cols() const { return cols_; }
 
-    /** Mutable element access. */
+    /** Mutable element access (bounds DCHECKed in debug builds). */
     double &operator()(std::size_t r, std::size_t c)
     {
+        ACDSE_DCHECK(r < rows_ && c < cols_, "index (", r, ",", c,
+                     ") outside ", rows_, "x", cols_);
         return data_[r * cols_ + c];
     }
-    /** Const element access. */
+    /** Const element access (bounds DCHECKed in debug builds). */
     double operator()(std::size_t r, std::size_t c) const
     {
+        ACDSE_DCHECK(r < rows_ && c < cols_, "index (", r, ",", c,
+                     ") outside ", rows_, "x", cols_);
         return data_[r * cols_ + c];
     }
 
@@ -73,4 +78,3 @@ class Matrix
 
 } // namespace acdse
 
-#endif // ACDSE_ML_MATRIX_HH

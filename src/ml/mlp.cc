@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/fast_math.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
@@ -14,16 +15,16 @@ namespace acdse
 
 Mlp::Mlp(MlpOptions options) : options_(options)
 {
-    ACDSE_ASSERT(options_.hiddenNeurons > 0, "need at least one neuron");
-    ACDSE_ASSERT(options_.epochs > 0, "need at least one epoch");
+    ACDSE_CHECK(options_.hiddenNeurons > 0, "need at least one neuron");
+    ACDSE_CHECK(options_.epochs > 0, "need at least one epoch");
 }
 
 void
 Mlp::train(const std::vector<std::vector<double>> &xs,
            const std::vector<double> &ys)
 {
-    ACDSE_ASSERT(!xs.empty(), "cannot train on no samples");
-    ACDSE_ASSERT(xs.size() == ys.size(), "xs/ys size mismatch");
+    ACDSE_CHECK(!xs.empty(), "cannot train on no samples");
+    ACDSE_CHECK(xs.size() == ys.size(), "xs/ys size mismatch");
     inputDim_ = xs.front().size();
 
     inputScaler_.fit(xs);
@@ -150,7 +151,7 @@ Mlp::forwardScaled(const std::vector<double> &xz,
 void
 Mlp::save(BinaryWriter &w) const
 {
-    ACDSE_ASSERT(trained_, "cannot save an untrained MLP");
+    ACDSE_CHECK(trained_, "cannot save an untrained MLP");
     w.u32(static_cast<std::uint32_t>(options_.hiddenNeurons));
     w.u32(static_cast<std::uint32_t>(options_.epochs));
     w.f64(options_.learningRate);
@@ -202,8 +203,12 @@ double
 Mlp::predict(const std::vector<double> &x,
              std::vector<double> &scratch) const
 {
-    ACDSE_ASSERT(trained_, "predict before train");
-    ACDSE_ASSERT(x.size() == inputDim_, "input width mismatch");
+    ACDSE_CHECK(trained_, "predict before train");
+    // Width is DCHECK-only: this is the serving hot path (called per
+    // point, per metric, per ensemble member) and the artifact
+    // boundary in PredictionService validates width once per batch.
+    ACDSE_DCHECK(x.size() == inputDim_, "input has ", x.size(),
+                 " features, network expects ", inputDim_);
     inputScaler_.transformInto(x, scratch);
     return targetScaler_.unscale(forwardScaled(scratch));
 }

@@ -9,8 +9,7 @@
  * compares against (Fig. 13).
  */
 
-#ifndef ACDSE_ML_MLP_HH
-#define ACDSE_ML_MLP_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -70,6 +69,9 @@ class Mlp
     /** Whether train() has been called. */
     bool trained() const { return trained_; }
 
+    /** Width of the feature vectors the network was trained on. */
+    std::size_t inputDim() const { return inputDim_; }
+
     /** The options the network was built with. */
     const MlpOptions &options() const { return options_; }
 
@@ -108,4 +110,3 @@ class Mlp
 
 } // namespace acdse
 
-#endif // ACDSE_ML_MLP_HH

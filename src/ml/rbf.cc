@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 #include "ml/kmeans.hh"
@@ -11,16 +12,16 @@ namespace acdse
 
 RbfNetwork::RbfNetwork(RbfOptions options) : options_(options)
 {
-    ACDSE_ASSERT(options_.centers > 0, "need at least one center");
-    ACDSE_ASSERT(options_.widthScale > 0.0, "width must be positive");
+    ACDSE_CHECK(options_.centers > 0, "need at least one center");
+    ACDSE_CHECK(options_.widthScale > 0.0, "width must be positive");
 }
 
 void
 RbfNetwork::train(const std::vector<std::vector<double>> &xs,
                   const std::vector<double> &ys)
 {
-    ACDSE_ASSERT(!xs.empty(), "cannot train on no samples");
-    ACDSE_ASSERT(xs.size() == ys.size(), "xs/ys size mismatch");
+    ACDSE_CHECK(!xs.empty(), "cannot train on no samples");
+    ACDSE_CHECK(xs.size() == ys.size(), "xs/ys size mismatch");
 
     inputScaler_.fit(xs);
     targetScaler_.fit(ys);
@@ -76,7 +77,7 @@ RbfNetwork::activations(const std::vector<double> &xz) const
 double
 RbfNetwork::predict(const std::vector<double> &x) const
 {
-    ACDSE_ASSERT(trained_, "predict before train");
+    ACDSE_CHECK(trained_, "predict before train");
     return targetScaler_.unscale(
         output_.predict(activations(inputScaler_.transform(x))));
 }

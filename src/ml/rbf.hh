@@ -8,8 +8,7 @@
  * solved in closed form with ridge least squares.
  */
 
-#ifndef ACDSE_ML_RBF_HH
-#define ACDSE_ML_RBF_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,4 +63,3 @@ class RbfNetwork
 
 } // namespace acdse
 
-#endif // ACDSE_ML_RBF_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 
@@ -12,12 +13,12 @@ namespace acdse
 void
 StandardScaler::fit(const std::vector<std::vector<double>> &samples)
 {
-    ACDSE_ASSERT(!samples.empty(), "cannot fit scaler on no samples");
+    ACDSE_CHECK(!samples.empty(), "cannot fit scaler on no samples");
     const std::size_t d = samples.front().size();
     means_.assign(d, 0.0);
     scales_.assign(d, 1.0);
     for (const auto &x : samples) {
-        ACDSE_ASSERT(x.size() == d, "inconsistent sample dimensions");
+        ACDSE_CHECK(x.size() == d, "inconsistent sample dimensions");
         for (std::size_t i = 0; i < d; ++i)
             means_[i] += x[i];
     }
@@ -46,7 +47,7 @@ void
 StandardScaler::transformInto(const std::vector<double> &x,
                               std::vector<double> &out) const
 {
-    ACDSE_ASSERT(x.size() == means_.size(), "dimension mismatch");
+    ACDSE_CHECK(x.size() == means_.size(), "dimension mismatch");
     out.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = (x[i] - means_[i]) / scales_[i];
@@ -71,7 +72,7 @@ StandardScaler::load(BinaryReader &r)
 void
 TargetScaler::fit(const std::vector<double> &ys)
 {
-    ACDSE_ASSERT(!ys.empty(), "cannot fit target scaler on no samples");
+    ACDSE_CHECK(!ys.empty(), "cannot fit target scaler on no samples");
     mean_ = stats::mean(ys);
     const double sd = stats::stddev(ys);
     sdev_ = sd > 1e-12 ? sd : 1.0;

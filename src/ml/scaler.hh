@@ -4,8 +4,7 @@
  * dimension, fitted on training data and applied at prediction time.
  */
 
-#ifndef ACDSE_ML_SCALER_HH
-#define ACDSE_ML_SCALER_HH
+#pragma once
 
 #include <vector>
 
@@ -76,4 +75,3 @@ class TargetScaler
 
 } // namespace acdse
 
-#endif // ACDSE_ML_SCALER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
 
@@ -22,15 +23,15 @@ cube(double v)
 
 SplineModel::SplineModel(SplineOptions options) : options_(options)
 {
-    ACDSE_ASSERT(options_.knots >= 3, "need at least three knots");
+    ACDSE_CHECK(options_.knots >= 3, "need at least three knots");
 }
 
 void
 SplineModel::train(const std::vector<std::vector<double>> &xs,
                    const std::vector<double> &ys)
 {
-    ACDSE_ASSERT(!xs.empty(), "cannot train on no samples");
-    ACDSE_ASSERT(xs.size() == ys.size(), "xs/ys size mismatch");
+    ACDSE_CHECK(!xs.empty(), "cannot train on no samples");
+    ACDSE_CHECK(xs.size() == ys.size(), "xs/ys size mismatch");
     const std::size_t dims = xs.front().size();
 
     targetScaler_.fit(ys);
@@ -96,7 +97,7 @@ SplineModel::basis(const std::vector<double> &x) const
 std::size_t
 SplineModel::basisSize() const
 {
-    ACDSE_ASSERT(trained_, "basisSize before train");
+    ACDSE_CHECK(trained_, "basisSize before train");
     std::size_t size = 0;
     for (const auto &knots : knots_)
         size += 1 + (knots.size() >= 3 ? knots.size() - 2 : 0);
@@ -106,7 +107,7 @@ SplineModel::basisSize() const
 double
 SplineModel::predict(const std::vector<double> &x) const
 {
-    ACDSE_ASSERT(trained_, "predict before train");
+    ACDSE_CHECK(trained_, "predict before train");
     return targetScaler_.unscale(regression_.predict(basis(x)));
 }
 

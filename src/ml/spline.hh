@@ -11,8 +11,7 @@
  * models.
  */
 
-#ifndef ACDSE_ML_SPLINE_HH
-#define ACDSE_ML_SPLINE_HH
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ class SplineModel
 
 } // namespace acdse
 
-#endif // ACDSE_ML_SPLINE_HH

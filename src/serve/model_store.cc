@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "base/binary_io.hh"
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -15,7 +16,7 @@ namespace acdse
 void
 ModelArtifact::add(Metric metric, ArchitectureCentricPredictor predictor)
 {
-    ACDSE_ASSERT(predictor.offlineTrained(),
+    ACDSE_CHECK(predictor.offlineTrained(),
                  "artifact predictors must be offline-trained");
     for (auto &entry : entries_) {
         if (entry.metric == metric) {
@@ -130,6 +131,9 @@ decodeArtifact(std::string_view bytes)
 void
 saveArtifact(const std::string &path, const ModelArtifact &artifact)
 {
+    ACDSE_CHECK(!path.empty(), "artifact path is empty");
+    ACDSE_CHECK(!artifact.empty(),
+                "refusing to save an artifact with no predictors");
     const std::string bytes = encodeArtifact(artifact);
 
     // Write-then-rename: the artifact appears atomically under its

@@ -26,8 +26,7 @@
  * a crashed writer never leaves a truncated artifact behind.
  */
 
-#ifndef ACDSE_SERVE_MODEL_STORE_HH
-#define ACDSE_SERVE_MODEL_STORE_HH
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -120,4 +119,3 @@ ModelArtifact loadArtifact(const std::string &path);
 
 } // namespace acdse
 
-#endif // ACDSE_SERVE_MODEL_STORE_HH

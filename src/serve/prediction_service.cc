@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 
 namespace acdse
 {
@@ -15,12 +17,8 @@ ServeOptions::fromEnvironment()
     ServeOptions options;
     if (const char *value = std::getenv("ACDSE_SERVE_THREADS");
         value && *value) {
-        char *end = nullptr;
-        const unsigned long long parsed =
-            std::strtoull(value, &end, 10);
-        if (end == value || *end != '\0')
-            fatal("ACDSE_SERVE_THREADS is not a number: '", value, "'");
-        options.threads = static_cast<std::size_t>(parsed);
+        options.threads = static_cast<std::size_t>(
+            parseU64OrDie("ACDSE_SERVE_THREADS", value));
     }
     return options;
 }
@@ -29,14 +27,20 @@ PredictionService::PredictionService(ModelArtifact artifact,
                                      ServeOptions options)
     : artifact_(std::move(artifact)), options_(options)
 {
-    ACDSE_ASSERT(!artifact_.empty(),
+    ACDSE_CHECK(!artifact_.empty(),
                  "cannot serve an artifact with no predictors");
     for (const auto &entry : artifact_.entries()) {
-        ACDSE_ASSERT(entry.predictor.ready(),
+        ACDSE_CHECK(entry.predictor.ready(),
                      "artifact predictor for ", metricName(entry.metric),
                      " has no fitted responses");
+        // Validate width once here so the per-point predict path can
+        // run on DCHECKs alone.
+        ACDSE_CHECK(entry.predictor.featureDim() == kNumParams,
+                    "artifact predictor for ", metricName(entry.metric),
+                    " expects ", entry.predictor.featureDim(),
+                    " features, queries carry ", kNumParams);
     }
-    ACDSE_ASSERT(options_.chunk > 0, "chunk size must be positive");
+    ACDSE_CHECK(options_.chunk > 0, "chunk size must be positive");
 
     std::size_t threads = options_.threads
                               ? options_.threads
@@ -142,6 +146,11 @@ PredictionService::workerLoop()
         {
             std::lock_guard<std::mutex> lock(mutex_);
             chunksDone_ += done;
+            ACDSE_DCHECK(activeWorkers_ > 0,
+                         "worker finishing a batch it never joined");
+            ACDSE_DCHECK(chunksDone_ <= batchChunks_,
+                         "more chunks completed (", chunksDone_,
+                         ") than the batch has (", batchChunks_, ")");
             --activeWorkers_;
             if (chunksDone_ == batchChunks_ && activeWorkers_ == 0)
                 doneCv_.notify_all();
@@ -165,6 +174,10 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
             (queries.size() + options_.chunk - 1) / options_.chunk;
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            ACDSE_CHECK(!batchQueries_ && !batchRows_ &&
+                            activeWorkers_ == 0,
+                        "batch published while the previous one is "
+                        "still in flight");
             batchQueries_ = &queries;
             batchRows_ = &rows;
             batchChunks_ = num_chunks;

@@ -19,8 +19,7 @@
  *  - ACDSE_SERVE_THREADS  worker threads (default: hardware parallelism)
  */
 
-#ifndef ACDSE_SERVE_PREDICTION_SERVICE_HH
-#define ACDSE_SERVE_PREDICTION_SERVICE_HH
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -202,4 +201,3 @@ class PredictionService
 
 } // namespace acdse
 
-#endif // ACDSE_SERVE_PREDICTION_SERVICE_HH

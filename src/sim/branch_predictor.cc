@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -18,7 +19,7 @@ GsharePredictor::GsharePredictor(int entries)
       historyBits_(std::min(
           6, std::countr_zero(static_cast<unsigned>(entries))))
 {
-    ACDSE_ASSERT(entries > 0 &&
+    ACDSE_CHECK(entries > 0 &&
                      std::has_single_bit(static_cast<unsigned>(entries)),
                  "gshare table size must be a power of two");
 }
@@ -55,7 +56,7 @@ Btb::Btb(int entries)
     : entries_(static_cast<std::size_t>(entries)),
       mask_(static_cast<std::uint64_t>(entries) - 1)
 {
-    ACDSE_ASSERT(entries > 0 &&
+    ACDSE_CHECK(entries > 0 &&
                      std::has_single_bit(static_cast<unsigned>(entries)),
                  "BTB size must be a power of two");
 }

@@ -4,8 +4,7 @@
  * sized from the varied design-space parameters.
  */
 
-#ifndef ACDSE_SIM_BRANCH_PREDICTOR_HH
-#define ACDSE_SIM_BRANCH_PREDICTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -91,4 +90,3 @@ class Btb
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_BRANCH_PREDICTOR_HH

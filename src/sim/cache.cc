@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "sim/cacti.hh"
 
@@ -12,11 +13,11 @@ Cache::Cache(int sizeBytes, int assoc, int lineBytes)
     : sets_(sizeBytes / (assoc * lineBytes)), assoc_(assoc),
       lineShift_(std::countr_zero(static_cast<unsigned>(lineBytes)))
 {
-    ACDSE_ASSERT(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
+    ACDSE_CHECK(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
                  "cache dimensions must be positive");
-    ACDSE_ASSERT(sets_ > 0, "cache too small for its associativity");
-    ACDSE_ASSERT((sets_ & (sets_ - 1)) == 0, "set count must be 2^n");
-    ACDSE_ASSERT(std::has_single_bit(static_cast<unsigned>(lineBytes)),
+    ACDSE_CHECK(sets_ > 0, "cache too small for its associativity");
+    ACDSE_CHECK((sets_ & (sets_ - 1)) == 0, "set count must be 2^n");
+    ACDSE_CHECK(std::has_single_bit(static_cast<unsigned>(lineBytes)),
                  "line size must be 2^n");
     lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
 }

@@ -4,8 +4,7 @@
  * core model (L1I + L1D backed by a unified L2, then main memory).
  */
 
-#ifndef ACDSE_SIM_CACHE_HH
-#define ACDSE_SIM_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -134,4 +133,3 @@ class CacheHierarchy
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_CACHE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -24,8 +25,8 @@ constexpr double kLeakNjPerBitCycle = 6.0e-9;
 ArrayEstimate
 estimateArray(int rows, int bitsPerRow, int readPorts, int writePorts)
 {
-    ACDSE_ASSERT(rows > 0 && bitsPerRow > 0, "array must be non-empty");
-    ACDSE_ASSERT(readPorts >= 0 && writePorts >= 0, "bad port counts");
+    ACDSE_CHECK(rows > 0 && bitsPerRow > 0, "array must be non-empty");
+    ACDSE_CHECK(readPorts >= 0 && writePorts >= 0, "bad port counts");
     const double ports = std::max(1, readPorts + writePorts);
     // Wire lengths grow linearly with the port count in both
     // dimensions, so per-access energy picks up a 'ports' factor.
@@ -45,7 +46,7 @@ estimateArray(int rows, int bitsPerRow, int readPorts, int writePorts)
 ArrayEstimate
 estimateCam(int rows, int tagBits, int searchPorts)
 {
-    ACDSE_ASSERT(rows > 0 && tagBits > 0, "CAM must be non-empty");
+    ACDSE_CHECK(rows > 0 && tagBits > 0, "CAM must be non-empty");
     const double ports = std::max(1, searchPorts);
     ArrayEstimate e;
     // A search drives every row's comparator.
@@ -60,9 +61,9 @@ estimateCam(int rows, int tagBits, int searchPorts)
 ArrayEstimate
 estimateCache(int sizeBytes, int assoc, int lineBytes, int level)
 {
-    ACDSE_ASSERT(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
+    ACDSE_CHECK(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
                  "cache must be non-empty");
-    ACDSE_ASSERT(level == 1 || level == 2, "only two cache levels");
+    ACDSE_CHECK(level == 1 || level == 2, "only two cache levels");
     const int sets = std::max(1, sizeBytes / (assoc * lineBytes));
     const int tag_bits = 28; // ~40-bit addresses, generous tags
     const int bits_per_set = assoc * (lineBytes * 8 + tag_bits);

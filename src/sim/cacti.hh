@@ -13,8 +13,7 @@
  * range the paper reports.
  */
 
-#ifndef ACDSE_SIM_CACTI_HH
-#define ACDSE_SIM_CACTI_HH
+#pragma once
 
 namespace acdse
 {
@@ -59,4 +58,3 @@ ArrayEstimate estimateCache(int sizeBytes, int assoc, int lineBytes,
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_CACTI_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -108,7 +109,7 @@ CoreStats
 OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
 {
     end = std::min(end, trace.size());
-    ACDSE_ASSERT(begin < end, "empty simulation interval");
+    ACDSE_CHECK(begin < end, "empty simulation interval");
 
     const std::size_t width = static_cast<std::size_t>(config_.width());
     const std::size_t rob_size =
@@ -451,7 +452,7 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
         wb_ring[cycle % kRingSize] = 0;
 
         ++cycle;
-        ACDSE_ASSERT(cycle < cycle_limit,
+        ACDSE_CHECK(cycle < cycle_limit,
                      "pipeline deadlock detected in ", trace.name(),
                      " at instruction ", commit_idx);
     }

@@ -21,8 +21,7 @@
  * disambiguation.
  */
 
-#ifndef ACDSE_SIM_CORE_HH
-#define ACDSE_SIM_CORE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -109,4 +108,3 @@ class OooCore
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_CORE_HH

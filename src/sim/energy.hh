@@ -11,8 +11,7 @@
  * the machine's width and structure sizes.
  */
 
-#ifndef ACDSE_SIM_ENERGY_HH
-#define ACDSE_SIM_ENERGY_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -136,4 +135,3 @@ class EnergyModel
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_ENERGY_HH

@@ -12,8 +12,7 @@
  * fidelity against the cycle-level model.
  */
 
-#ifndef ACDSE_SIM_FIRST_ORDER_HH
-#define ACDSE_SIM_FIRST_ORDER_HH
+#pragma once
 
 #include "arch/microarch_config.hh"
 #include "trace/trace.hh"
@@ -36,4 +35,3 @@ FirstOrderResult firstOrderEstimate(const MicroarchConfig &config,
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_FIRST_ORDER_HH

@@ -4,8 +4,7 @@
  * and energy-delay-squared (Section 3.2).
  */
 
-#ifndef ACDSE_SIM_METRICS_HH
-#define ACDSE_SIM_METRICS_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -60,4 +59,3 @@ struct Metrics
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_METRICS_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "sim/core.hh"
 #include "sim/simulator.hh"
@@ -14,7 +15,7 @@ simulateWithSimPoints(const MicroarchConfig &config, const Trace &trace,
                       const SimPointOptions &options)
 {
     const SimPointResult analysis = simpointAnalyze(trace, options);
-    ACDSE_ASSERT(!analysis.points.empty(), "no simulation points");
+    ACDSE_CHECK(!analysis.points.empty(), "no simulation points");
     const std::size_t len = options.intervalLength;
 
     // Per-interval estimates from the representatives.
@@ -52,8 +53,8 @@ SampledResult
 simulateWithSmarts(const MicroarchConfig &config, const Trace &trace,
                    const SmartsOptions &options)
 {
-    ACDSE_ASSERT(options.unitInstructions > 0, "empty measurement unit");
-    ACDSE_ASSERT(options.samplingPeriod > 0, "sampling period must be >0");
+    ACDSE_CHECK(options.unitInstructions > 0, "empty measurement unit");
+    ACDSE_CHECK(options.samplingPeriod > 0, "sampling period must be >0");
     const std::size_t unit = options.unitInstructions;
     const std::size_t num_units =
         (trace.size() + unit - 1) / unit;
@@ -86,7 +87,7 @@ simulateWithSmarts(const MicroarchConfig &config, const Trace &trace,
             core.warm(trace, begin, end);
         }
     }
-    ACDSE_ASSERT(measured_units > 0, "no units were measured");
+    ACDSE_CHECK(measured_units > 0, "no units were measured");
 
     // Extrapolate the per-unit averages to the whole trace.
     const double scale = static_cast<double>(num_units) /

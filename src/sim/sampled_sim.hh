@@ -16,8 +16,7 @@
  *    warming of caches and predictors.
  */
 
-#ifndef ACDSE_SIM_SAMPLED_SIM_HH
-#define ACDSE_SIM_SAMPLED_SIM_HH
+#pragma once
 
 #include "arch/microarch_config.hh"
 #include "sim/metrics.hh"
@@ -67,4 +66,3 @@ SampledResult simulateWithSmarts(const MicroarchConfig &config,
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_SAMPLED_SIM_HH

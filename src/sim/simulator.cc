@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -46,7 +47,7 @@ Metrics
 Metrics::scaledToInstructions(double actualInstructions,
                               double targetInstructions) const
 {
-    ACDSE_ASSERT(actualInstructions > 0.0, "cannot scale empty run");
+    ACDSE_CHECK(actualInstructions > 0.0, "cannot scale empty run");
     const double f = targetInstructions / actualInstructions;
     return fromCyclesEnergy(cycles * f, energyNj * f);
 }
@@ -74,6 +75,14 @@ simulate(const MicroarchConfig &config, const Trace &trace,
     result.metrics = Metrics::fromCyclesEnergy(
         static_cast<double>(result.stats.cycles),
         result.dynamicNj + result.staticNj);
+    // Everything downstream (training sets, the campaign cache, served
+    // predictions) assumes simulation output is finite and positive;
+    // catch a broken energy/timing model here, not three layers later
+    // as a NaN prediction.
+    ACDSE_CHECK_FINITE(result.metrics.cycles, "simulated cycles");
+    ACDSE_CHECK_FINITE(result.metrics.energyNj, "simulated energy");
+    ACDSE_CHECK(result.metrics.cycles > 0.0,
+                "simulation produced no cycles");
     return result;
 }
 

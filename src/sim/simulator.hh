@@ -7,8 +7,7 @@
  * designed to avoid calling 18 billion times.
  */
 
-#ifndef ACDSE_SIM_SIMULATOR_HH
-#define ACDSE_SIM_SIMULATOR_HH
+#pragma once
 
 #include "arch/microarch_config.hh"
 #include "sim/core.hh"
@@ -44,4 +43,3 @@ SimulationResult simulate(const MicroarchConfig &config, const Trace &trace,
 
 } // namespace acdse
 
-#endif // ACDSE_SIM_SIMULATOR_HH

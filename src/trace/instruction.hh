@@ -7,8 +7,7 @@
  * generated from a per-program statistical profile.
  */
 
-#ifndef ACDSE_TRACE_INSTRUCTION_HH
-#define ACDSE_TRACE_INSTRUCTION_HH
+#pragma once
 
 #include <cstdint>
 
@@ -73,4 +72,3 @@ struct TraceInstruction
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_INSTRUCTION_HH

@@ -9,8 +9,7 @@
  * spaces with a few strong outliers (art, mcf).
  */
 
-#ifndef ACDSE_TRACE_PROGRAM_PROFILE_HH
-#define ACDSE_TRACE_PROGRAM_PROFILE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -105,4 +104,3 @@ struct ProgramProfile
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_PROGRAM_PROFILE_HH

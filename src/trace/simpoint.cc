@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "ml/kmeans.hh"
@@ -14,8 +15,8 @@ namespace acdse
 SimPointResult
 simpointAnalyze(const Trace &trace, const SimPointOptions &options)
 {
-    ACDSE_ASSERT(options.intervalLength > 0, "interval length must be > 0");
-    ACDSE_ASSERT(options.projectedDims > 0, "need at least one dimension");
+    ACDSE_CHECK(options.intervalLength > 0, "interval length must be > 0");
+    ACDSE_CHECK(options.projectedDims > 0, "need at least one dimension");
 
     const std::size_t n = trace.size();
     const std::size_t num_intervals =
@@ -109,7 +110,7 @@ simpointWeightedSum(const SimPointResult &result,
 {
     double acc = 0.0;
     for (const auto &point : result.points) {
-        ACDSE_ASSERT(point.intervalIndex < perIntervalValues.size(),
+        ACDSE_CHECK(point.intervalIndex < perIntervalValues.size(),
                      "per-interval values too short");
         acc += point.weight * perIntervalValues[point.intervalIndex];
     }

@@ -10,8 +10,7 @@
  * representatives approximates simulating the whole trace.
  */
 
-#ifndef ACDSE_TRACE_SIMPOINT_HH
-#define ACDSE_TRACE_SIMPOINT_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -65,4 +64,3 @@ double simpointWeightedSum(const SimPointResult &result,
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_SIMPOINT_HH

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -259,7 +260,7 @@ buildSpec()
         v.push_back(p);
     }
 
-    ACDSE_ASSERT(v.size() == 26, "expected 26 SPEC CPU 2000 programs");
+    ACDSE_CHECK(v.size() == 26, "expected 26 SPEC CPU 2000 programs");
     return v;
 }
 
@@ -421,7 +422,7 @@ buildMiBench()
         v.push_back(p);
     }
 
-    ACDSE_ASSERT(v.size() == 19, "expected 19 MiBench programs");
+    ACDSE_CHECK(v.size() == 19, "expected 19 MiBench programs");
     return v;
 }
 

@@ -16,8 +16,7 @@
  *    branch density), with patricia and tiff2rgba deliberately unusual.
  */
 
-#ifndef ACDSE_TRACE_SUITES_HH
-#define ACDSE_TRACE_SUITES_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -44,4 +43,3 @@ std::vector<std::string> programNames(Suite suite);
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_SUITES_HH

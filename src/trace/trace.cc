@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace acdse
@@ -26,7 +27,7 @@ instClassName(InstClass cls)
 Trace::Trace(std::string name, std::vector<TraceInstruction> instructions)
     : name_(std::move(name)), instructions_(std::move(instructions))
 {
-    ACDSE_ASSERT(!instructions_.empty(), "trace must not be empty");
+    ACDSE_CHECK(!instructions_.empty(), "trace must not be empty");
 }
 
 const TraceStats &

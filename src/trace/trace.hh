@@ -3,8 +3,7 @@
  * A dynamic-instruction trace plus cheap summary statistics.
  */
 
-#ifndef ACDSE_TRACE_TRACE_HH
-#define ACDSE_TRACE_TRACE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -64,4 +63,3 @@ class Trace
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_TRACE_HH

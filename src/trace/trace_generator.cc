@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -73,16 +74,16 @@ ProgramProfile::seedFromName(const std::string &name)
 TraceGenerator::TraceGenerator(ProgramProfile profile)
     : profile_(std::move(profile))
 {
-    ACDSE_ASSERT(profile_.branchFraction > 0.0 &&
+    ACDSE_CHECK(profile_.branchFraction > 0.0 &&
                      profile_.branchFraction < 0.5,
                  "branch fraction must be in (0, 0.5)");
-    ACDSE_ASSERT(profile_.dataFootprintKb >= 1.0, "footprint too small");
+    ACDSE_CHECK(profile_.dataFootprintKb >= 1.0, "footprint too small");
 }
 
 Trace
 TraceGenerator::generate(std::size_t length) const
 {
-    ACDSE_ASSERT(length > 0, "cannot generate an empty trace");
+    ACDSE_CHECK(length > 0, "cannot generate an empty trace");
     const ProgramProfile &p = profile_;
     Rng rng(p.seed ? p.seed : ProgramProfile::seedFromName(p.name));
 

@@ -11,8 +11,7 @@
  * produces bit-identical traces.
  */
 
-#ifndef ACDSE_TRACE_TRACE_GENERATOR_HH
-#define ACDSE_TRACE_TRACE_GENERATOR_HH
+#pragma once
 
 #include <cstddef>
 
@@ -41,4 +40,3 @@ class TraceGenerator
 
 } // namespace acdse
 
-#endif // ACDSE_TRACE_TRACE_GENERATOR_HH

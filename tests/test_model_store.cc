@@ -295,5 +295,48 @@ TEST(ModelStore, SaveIsAtomicUnderExistingFile)
     std::remove(path.c_str());
 }
 
+TEST(ModelStore, EveryTruncationIsRejectedCleanly)
+{
+    // A serving process must reject a partially-written or
+    // partially-copied artifact with SerializationError at *every*
+    // possible cut point -- no crash, no garbage model.
+    ModelArtifact artifact;
+    artifact.setTag("truncation-fuzz");
+    artifact.add(Metric::Cycles, trainedPredictor());
+    const std::string bytes = encodeArtifact(artifact);
+    ASSERT_GT(bytes.size(), 28u);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW(decodeArtifact(std::string_view(bytes).substr(0, len)),
+                     SerializationError)
+            << "truncation to " << len << " bytes was accepted";
+    }
+    // Trailing garbage is corruption too, not padding.
+    EXPECT_THROW(decodeArtifact(bytes + '\0'), SerializationError);
+}
+
+TEST(ModelStore, EveryBitFlipIsRejectedCleanly)
+{
+    // Single-bit rot anywhere in the file -- magic, version, length,
+    // checksum or payload -- must surface as SerializationError. The
+    // sanitizer CI jobs run this to prove the decode path has no
+    // UB/overflow on adversarial input.
+    ModelArtifact artifact;
+    artifact.setTag("bitflip-fuzz");
+    artifact.add(Metric::Cycles, trainedPredictor());
+    const std::string bytes = encodeArtifact(artifact);
+    for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+        for (unsigned bit : {0u, 3u, 7u}) {
+            std::string corrupt = bytes;
+            corrupt[offset] =
+                static_cast<char>(static_cast<unsigned char>(
+                                      corrupt[offset]) ^
+                                  (1u << bit));
+            EXPECT_THROW(decodeArtifact(corrupt), SerializationError)
+                << "bit " << bit << " flip at offset " << offset
+                << " was accepted";
+        }
+    }
+}
+
 } // namespace
 } // namespace acdse

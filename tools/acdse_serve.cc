@@ -23,7 +23,7 @@
  * given.
  */
 
-#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +36,7 @@
 #include "base/binary_io.hh"
 #include "base/csv.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "serve/prediction_service.hh"
 
 using namespace acdse;
@@ -67,20 +68,6 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-/** Parse a flag's value as an unsigned count; fatal on anything else. */
-std::size_t
-parseCount(const char *flag, const char *text)
-{
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long parsed = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0' || errno == ERANGE ||
-        text[0] == '-') {
-        fatal(flag, " expects an unsigned integer, got '", text, "'");
-    }
-    return static_cast<std::size_t>(parsed);
-}
-
 CliOptions
 parseArgs(int argc, char **argv)
 {
@@ -96,9 +83,11 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--input")) {
             options.inputPath = value(i);
         } else if (!std::strcmp(argv[i], "--batch")) {
-            options.batch = parseCount("--batch", value(i));
+            options.batch = static_cast<std::size_t>(
+                parseU64OrDie("--batch", value(i)));
         } else if (!std::strcmp(argv[i], "--threads")) {
-            options.threads = parseCount("--threads", value(i));
+            options.threads = static_cast<std::size_t>(
+                parseU64OrDie("--threads", value(i)));
         } else if (!std::strcmp(argv[i], "--stats")) {
             options.printStats = true;
         } else if (!std::strcmp(argv[i], "--help") ||
@@ -137,9 +126,8 @@ parseQuery(const std::string &line, std::size_t lineNo,
     }
     std::array<int, kNumParams> values;
     for (std::size_t p = 0; p < kNumParams; ++p) {
-        char *end = nullptr;
-        const long parsed = std::strtol(cells[p].c_str(), &end, 10);
-        if (end == cells[p].c_str() || *end != '\0') {
+        const auto parsed = parseI64(cells[p]);
+        if (!parsed) {
             // A non-numeric *first* cell on the first line is a header
             // row; a non-numeric cell anywhere else is corrupt data and
             // must not be skipped silently.
@@ -149,11 +137,12 @@ parseQuery(const std::string &line, std::size_t lineNo,
                   "' is not an integer");
         }
         const ParamSpec &spec = paramSpec(static_cast<Param>(p));
-        if (!spec.contains(static_cast<int>(parsed))) {
-            fatal("line ", lineNo, ": ", parsed,
+        if (*parsed < INT_MIN || *parsed > INT_MAX ||
+            !spec.contains(static_cast<int>(*parsed))) {
+            fatal("line ", lineNo, ": ", *parsed,
                   " is not a legal value for ", spec.name);
         }
-        values[p] = static_cast<int>(parsed);
+        values[p] = static_cast<int>(*parsed);
     }
     out = MicroarchConfig(values);
     return true;

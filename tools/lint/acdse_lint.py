@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules that clang-tidy cannot express.
+
+Run from anywhere:  python3 tools/lint/acdse_lint.py  [--root DIR]
+
+Rules (suppress a single line with a trailing  // NOLINT(acdse-<rule>)):
+
+  acdse-checked-parse    The C ato* family silently returns 0
+                         on garbage; the strtol family wraps or needs
+                         errno discipline nobody gets right. All text
+                         -> number conversion goes through
+                         src/base/parse.hh (parseU64/I64/F64[OrDie]).
+
+  acdse-deterministic-rng
+                         std::rand, srand and std::random_device (and
+                         time()-derived seeds) make runs
+                         unreproducible. Use acdse::Rng with an
+                         explicit seed.
+
+  acdse-atomic-writes    Artifact/cache files must appear atomically:
+                         writes go through writeCsvAtomic() or the
+                         model store's saveArtifact(), not raw
+                         std::ofstream/fopen. (Allowlisted: the two
+                         files that implement those primitives; tests
+                         may write scratch files.)
+
+  acdse-pragma-once      Every header uses #pragma once, not include
+                         guards.
+
+  acdse-no-assert-macro  ACDSE_ASSERT was replaced by ACDSE_CHECK /
+                         ACDSE_DCHECK (base/check.hh); don't
+                         reintroduce it.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
+SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
+
+# Files allowed to do raw file writes: the atomic-write primitives
+# themselves.
+ATOMIC_WRITE_IMPLS = {
+    Path("src/base/csv.cc"),
+    Path("src/serve/model_store.cc"),
+}
+
+NOLINT_RE = re.compile(r"NOLINT\(acdse-([a-z-]+)\)")
+
+RULES = [
+    (
+        "checked-parse",
+        re.compile(
+            r"\b(?:std::)?(?:ato(?:i|l|ll|f)|"
+            r"strtol|strtoll|strtoul|strtoull|strtod|strtof|strtold)"
+            r"\s*\("
+        ),
+        "use the checked parsers in base/parse.hh "
+        "(parseU64/parseI64/parseF64 or their OrDie forms)",
+        None,
+    ),
+    (
+        "deterministic-rng",
+        re.compile(
+            r"\b(?:std::rand\b|srand\s*\(|std::random_device\b|"
+            r"seed\s*\(\s*time\s*\(|time\s*\(\s*(?:NULL|nullptr|0)\s*\))"
+        ),
+        "non-deterministic randomness; use acdse::Rng with an explicit "
+        "seed",
+        None,
+    ),
+    (
+        "no-assert-macro",
+        re.compile(r"\bACDSE_ASSERT\b"),
+        "ACDSE_ASSERT is retired; use ACDSE_CHECK or ACDSE_DCHECK from "
+        "base/check.hh",
+        None,
+    ),
+]
+
+
+def lint_file(root: Path, rel: Path) -> list[str]:
+    findings: list[str] = []
+    try:
+        text = (root / rel).read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [f"{rel}:1: [acdse-encoding] file is not valid UTF-8"]
+    lines = text.splitlines()
+
+    top = rel.parts[0] if rel.parts else ""
+    raw_write_banned = (
+        top in ("src", "tools", "bench", "examples")
+        and rel not in ATOMIC_WRITE_IMPLS
+    )
+
+    for lineno, line in enumerate(lines, 1):
+        suppressed = {m.group(1) for m in NOLINT_RE.finditer(line)}
+
+        for name, pattern, message, _ in RULES:
+            if name in suppressed:
+                continue
+            if pattern.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [acdse-{name}] {message}"
+                )
+
+        if (
+            raw_write_banned
+            and "atomic-writes" not in suppressed
+            and re.search(r"\bstd::ofstream\b|\bfopen\s*\(", line)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [acdse-atomic-writes] raw file "
+                "writes bypass crash-safety; use writeCsvAtomic() or "
+                "saveArtifact() (base/csv.hh, serve/model_store.hh)"
+            )
+
+    if rel.suffix in (".hh", ".h"):
+        directives = [
+            l.strip() for l in lines if l.strip().startswith("#")
+        ]
+        if not directives or directives[0] != "#pragma once":
+            findings.append(
+                f"{rel}:1: [acdse-pragma-once] headers must open with "
+                "#pragma once (before any other directive)"
+            )
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[2],
+        help="repository root (default: inferred from this script)",
+    )
+    args = parser.parse_args()
+
+    files: list[Path] = []
+    for top in SOURCE_DIRS:
+        base = args.root / top
+        if not base.is_dir():
+            continue
+        files.extend(
+            p.relative_to(args.root)
+            for p in sorted(base.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        )
+
+    findings: list[str] = []
+    for rel in files:
+        findings.extend(lint_file(args.root, rel))
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"acdse_lint: {len(files)} files checked, "
+        f"{len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/statistics.hh"
 #include "core/campaign.hh"
 #include "serve/prediction_service.hh"
@@ -85,11 +86,11 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--train-programs")) {
             options.trainingPrograms = splitList(value(i));
         } else if (!std::strcmp(argv[i], "--train-sims")) {
-            options.trainSims =
-                static_cast<std::size_t>(std::atoll(value(i)));
+            options.trainSims = static_cast<std::size_t>(
+                parseU64OrDie("--train-sims", value(i)));
         } else if (!std::strcmp(argv[i], "--responses")) {
-            options.responses =
-                static_cast<std::size_t>(std::atoll(value(i)));
+            options.responses = static_cast<std::size_t>(
+                parseU64OrDie("--responses", value(i)));
         } else {
             std::fprintf(
                 stderr,
@@ -102,6 +103,8 @@ parseArgs(int argc, char **argv)
     }
     if (options.trainingPrograms.empty())
         fatal("need at least one training program");
+    if (options.trainSims == 0 || options.responses == 0)
+        fatal("--train-sims and --responses must be positive");
     return options;
 }
 
