@@ -34,9 +34,11 @@ main()
                 continue;
             stats::RunningStats err, corr;
             for (std::size_t r = 0; r < bench::repeats(); ++r) {
-                for (std::size_t p : spec) {
-                    const auto q = evaluator.evaluateProgramSpecific(
-                        p, metric, t, bench::repeatSeed(r));
+                // One parallel sweep per repeat; fold i is bit-equal
+                // to the serial evaluateProgramSpecific(spec[i], ...).
+                const auto sweep = evaluator.evaluateProgramSpecificSweep(
+                    spec, metric, t, bench::repeatSeed(r));
+                for (const auto &q : sweep) {
                     err.add(q.rmaePercent);
                     corr.add(q.correlation);
                 }

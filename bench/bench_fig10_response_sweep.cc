@@ -33,15 +33,10 @@ main()
         for (std::size_t r_count : sweep) {
             stats::RunningStats err, corr;
             for (std::size_t r = 0; r < bench::repeats(); ++r) {
-                for (std::size_t p : spec) {
-                    std::vector<std::size_t> training;
-                    for (std::size_t q : spec) {
-                        if (q != p)
-                            training.push_back(q);
-                    }
-                    const auto quality = evaluator.evaluateArchCentric(
-                        p, metric, training, t, r_count,
-                        bench::repeatSeed(r));
+                // Leave-one-out over SPEC as one parallel sweep.
+                const auto sweep = evaluator.evaluateArchCentricSweep(
+                    spec, metric, t, r_count, bench::repeatSeed(r));
+                for (const auto &quality : sweep) {
                     err.add(quality.rmaePercent);
                     corr.add(quality.correlation);
                 }

@@ -29,28 +29,29 @@ main()
         Table table({"program", "train err (%)", "test err (%)",
                      "test stddev", "correlation"});
         stats::RunningStats avg_err, avg_corr;
-        for (std::size_t p : spec) {
-            std::vector<std::size_t> training;
-            for (std::size_t q : spec) {
-                if (q != p)
-                    training.push_back(q);
+        // One parallel leave-one-out sweep per repeat; per-program
+        // statistics accumulate across repeats exactly as the old
+        // serial per-program loop did.
+        std::vector<stats::RunningStats> train_err(spec.size());
+        std::vector<stats::RunningStats> test_err(spec.size());
+        std::vector<stats::RunningStats> corr(spec.size());
+        for (std::size_t r = 0; r < bench::repeats(); ++r) {
+            const auto sweep = evaluator.evaluateArchCentricSweep(
+                spec, metric, t, bench::kPaperR, bench::repeatSeed(r));
+            for (std::size_t i = 0; i < spec.size(); ++i) {
+                train_err[i].add(sweep[i].trainingErrorPercent);
+                test_err[i].add(sweep[i].rmaePercent);
+                corr[i].add(sweep[i].correlation);
             }
-            stats::RunningStats train_err, test_err, corr;
-            for (std::size_t r = 0; r < bench::repeats(); ++r) {
-                const auto q = evaluator.evaluateArchCentric(
-                    p, metric, training, t, bench::kPaperR,
-                    bench::repeatSeed(r));
-                train_err.add(q.trainingErrorPercent);
-                test_err.add(q.rmaePercent);
-                corr.add(q.correlation);
-            }
-            avg_err.add(test_err.mean());
-            avg_corr.add(corr.mean());
-            table.addRow({campaign.programs()[p],
-                          Table::num(train_err.mean(), 1),
-                          Table::num(test_err.mean(), 1),
-                          Table::num(test_err.stddev(), 1),
-                          Table::num(corr.mean(), 3)});
+        }
+        for (std::size_t i = 0; i < spec.size(); ++i) {
+            avg_err.add(test_err[i].mean());
+            avg_corr.add(corr[i].mean());
+            table.addRow({campaign.programs()[spec[i]],
+                          Table::num(train_err[i].mean(), 1),
+                          Table::num(test_err[i].mean(), 1),
+                          Table::num(test_err[i].stddev(), 1),
+                          Table::num(corr[i].mean(), 3)});
         }
         table.addRow({"AVERAGE", "", Table::num(avg_err.mean(), 1), "",
                       Table::num(avg_corr.mean(), 3)});

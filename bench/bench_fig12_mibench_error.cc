@@ -30,23 +30,29 @@ main()
         Table table({"program", "train err (%)", "test err (%)",
                      "test stddev", "correlation"});
         stats::RunningStats avg_err, avg_corr;
-        for (std::size_t p : mibench) {
-            stats::RunningStats train_err, test_err, corr;
-            for (std::size_t r = 0; r < bench::repeats(); ++r) {
-                const auto q = evaluator.evaluateArchCentric(
-                    p, metric, spec, t, bench::kPaperR,
-                    bench::repeatSeed(r));
-                train_err.add(q.trainingErrorPercent);
-                test_err.add(q.rmaePercent);
-                corr.add(q.correlation);
+        // The full SPEC suite is the training pool for every MiBench
+        // fold, so each repeat is one parallel cross-suite sweep.
+        std::vector<stats::RunningStats> train_err(mibench.size());
+        std::vector<stats::RunningStats> test_err(mibench.size());
+        std::vector<stats::RunningStats> corr(mibench.size());
+        for (std::size_t r = 0; r < bench::repeats(); ++r) {
+            const auto sweep = evaluator.evaluateArchCentricSweep(
+                mibench, metric, t, bench::kPaperR, bench::repeatSeed(r),
+                spec);
+            for (std::size_t i = 0; i < mibench.size(); ++i) {
+                train_err[i].add(sweep[i].trainingErrorPercent);
+                test_err[i].add(sweep[i].rmaePercent);
+                corr[i].add(sweep[i].correlation);
             }
-            avg_err.add(test_err.mean());
-            avg_corr.add(corr.mean());
-            table.addRow({campaign.programs()[p],
-                          Table::num(train_err.mean(), 1),
-                          Table::num(test_err.mean(), 1),
-                          Table::num(test_err.stddev(), 1),
-                          Table::num(corr.mean(), 3)});
+        }
+        for (std::size_t i = 0; i < mibench.size(); ++i) {
+            avg_err.add(test_err[i].mean());
+            avg_corr.add(corr[i].mean());
+            table.addRow({campaign.programs()[mibench[i]],
+                          Table::num(train_err[i].mean(), 1),
+                          Table::num(test_err[i].mean(), 1),
+                          Table::num(test_err[i].stddev(), 1),
+                          Table::num(corr[i].mean(), 3)});
         }
         table.addRow({"AVERAGE", "", Table::num(avg_err.mean(), 1), "",
                       Table::num(avg_corr.mean(), 3)});

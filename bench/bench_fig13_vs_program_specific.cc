@@ -40,22 +40,19 @@ main()
                 continue;
             stats::RunningStats ps_err, ps_corr, ac_err, ac_corr;
             for (std::size_t r = 0; r < bench::repeats(); ++r) {
-                for (std::size_t p : spec) {
-                    const auto ps = evaluator.evaluateProgramSpecific(
-                        p, metric, budget, bench::repeatSeed(r));
-                    ps_err.add(ps.rmaePercent);
-                    ps_corr.add(ps.correlation);
-
-                    std::vector<std::size_t> training;
-                    for (std::size_t q : spec) {
-                        if (q != p)
-                            training.push_back(q);
-                    }
-                    const auto ac = evaluator.evaluateArchCentric(
-                        p, metric, training, t, budget,
-                        bench::repeatSeed(r));
-                    ac_err.add(ac.rmaePercent);
-                    ac_corr.add(ac.correlation);
+                // Both sides of the comparison as parallel sweeps; the
+                // per-program accumulation order is unchanged.
+                const auto ps = evaluator.evaluateProgramSpecificSweep(
+                    spec, metric, budget, bench::repeatSeed(r));
+                for (const auto &q : ps) {
+                    ps_err.add(q.rmaePercent);
+                    ps_corr.add(q.correlation);
+                }
+                const auto ac = evaluator.evaluateArchCentricSweep(
+                    spec, metric, t, budget, bench::repeatSeed(r));
+                for (const auto &q : ac) {
+                    ac_err.add(q.rmaePercent);
+                    ac_corr.add(q.correlation);
                 }
             }
             table.addRow({Table::num(static_cast<long long>(budget)),

@@ -43,11 +43,14 @@ main()
                 const std::vector<std::size_t> training(
                     pool.begin(),
                     pool.begin() + static_cast<std::ptrdiff_t>(count));
-                // Test on the remaining SPEC programs.
-                for (std::size_t k = count; k < pool.size(); ++k) {
-                    const auto q = evaluator.evaluateArchCentric(
-                        pool[k], metric, training, t, bench::kPaperR,
-                        bench::repeatSeed(r));
+                // Test on the remaining SPEC programs as one sweep.
+                const std::vector<std::size_t> testing(
+                    pool.begin() + static_cast<std::ptrdiff_t>(count),
+                    pool.end());
+                const auto sweep = evaluator.evaluateArchCentricSweep(
+                    testing, metric, t, bench::kPaperR,
+                    bench::repeatSeed(r), training);
+                for (const auto &q : sweep) {
                     err.add(q.rmaePercent);
                     corr.add(q.correlation);
                 }

@@ -16,7 +16,9 @@
  *
  * Environment: ACDSE_SERVE_BENCH_METRICS (default 4) limits the
  * artifact's metric count; ACDSE_SERVE_BENCH_MODELS (default 8) sets
- * the ensemble size.
+ * the ensemble size; ACDSE_BENCH_JSON overrides the BENCH_serve.json
+ * output path (schema acdse-bench-v1, read by
+ * tools/ci/check_bench_regression.py).
  */
 
 #include <cmath>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "arch/design_space.hh"
+#include "base/json.hh"
 #include "base/parse.hh"
 #include "serve/prediction_service.hh"
 
@@ -143,6 +146,8 @@ main()
     std::printf("\n");
 
     double best = 0.0;
+    double best_t1 = 0.0;
+    double best_hw = 0.0;
     for (std::size_t batch : {256u, 1024u, 4096u, 16384u}) {
         std::printf("%-10zu", static_cast<std::size_t>(batch));
         for (std::size_t threads : {std::size_t{1}, std::size_t{2},
@@ -150,10 +155,39 @@ main()
             const double pps =
                 measure(artifact, threads, queries, batch);
             best = std::max(best, pps);
+            if (threads == 1)
+                best_t1 = std::max(best_t1, pps);
+            if (threads == hw)
+                best_hw = std::max(best_hw, pps);
             std::printf("  %11.0f", pps);
         }
         std::printf("\n");
     }
+
+    const std::string out = [] {
+        if (const char *value = std::getenv("ACDSE_BENCH_JSON");
+            value && *value)
+            return std::string(value);
+        return std::string("BENCH_serve.json");
+    }();
+    JsonWriter json;
+    json.beginObject()
+        .key("schema").value("acdse-bench-v1")
+        .key("bench").value("serve")
+        .key("hardware_concurrency").value(
+            static_cast<std::uint64_t>(hw))
+        .key("num_metrics").value(
+            static_cast<std::uint64_t>(num_metrics))
+        .key("num_models").value(
+            static_cast<std::uint64_t>(num_models))
+        .key("metrics").beginObject()
+        .key("serve_best_pps").value(best)
+        .key("serve_best_pps_t1").value(best_t1)
+        .key("serve_best_pps_tmax").value(best_hw)
+        .endObject()
+        .endObject();
+    writeTextAtomic(out, json.str());
+    std::printf("\nwrote %s\n", out.c_str());
 
     std::printf("\nbest: %.0f predictions/s (target: >= 100000)\n", best);
     if (best < 100000.0) {

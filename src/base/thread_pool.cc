@@ -1,0 +1,203 @@
+#include "base/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "base/check.hh"
+#include "base/parse.hh"
+
+namespace acdse
+{
+
+namespace
+{
+
+// Set for the lifetime of every spawned worker; parallelFor() uses it
+// to detect nesting and degrade to an inline loop instead of blocking
+// a worker on other workers (which can deadlock a pool of one).
+thread_local bool tl_pool_worker = false;
+
+} // namespace
+
+/**
+ * Shared state of one parallelFor call. Helpers hold it via shared_ptr
+ * so a worker that wakes only after the loop completed finds the range
+ * exhausted and exits without touching the caller's (gone) frame: the
+ * body pointer is only dereferenced after a successful claim, and the
+ * caller cannot return while any claimed index is unfinished.
+ */
+struct ThreadPool::ForJob
+{
+    std::size_t begin = 0;
+    std::size_t total = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};      //!< next unclaimed offset
+    std::atomic<std::size_t> completed{0}; //!< finished (or skipped)
+    std::atomic<bool> abort{false};        //!< a task threw; wind down
+    std::mutex mutex;
+    std::condition_variable done;
+    bool hasException = false;
+    std::size_t exceptionIndex = 0;
+    std::exception_ptr exception;
+};
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    if (const char *value = std::getenv("ACDSE_THREADS");
+        value && *value) {
+        const auto parsed = static_cast<std::size_t>(
+            parseU64OrDie("ACDSE_THREADS", value));
+        if (parsed)
+            return parsed;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+ThreadPool::resolveThreads(std::size_t requested)
+{
+    return requested ? requested : defaultThreads();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreads());
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tl_pool_worker;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t size = resolveThreads(threads);
+    workers_.reserve(size - 1);
+    for (std::size_t i = 0; i + 1 < size; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_pool_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock,
+                         [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left: drained teardown
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::drain(ForJob &job)
+{
+    for (;;) {
+        const std::size_t lo = job.next.fetch_add(job.grain);
+        if (lo >= job.total)
+            return;
+        const std::size_t hi = std::min(lo + job.grain, job.total);
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (job.abort.load(std::memory_order_relaxed))
+                continue;
+            try {
+                (*job.body)(job.begin + i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.mutex);
+                if (!job.hasException || i < job.exceptionIndex) {
+                    job.hasException = true;
+                    job.exceptionIndex = i;
+                    job.exception = std::current_exception();
+                }
+                job.abort.store(true, std::memory_order_relaxed);
+            }
+        }
+        const std::size_t before = job.completed.fetch_add(hi - lo);
+        if (before + (hi - lo) == job.total) {
+            // Last block: wake the caller. Taking the mutex orders the
+            // notify after the caller's predicate check.
+            std::lock_guard<std::mutex> lock(job.mutex);
+            job.done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body,
+                        std::size_t grain)
+{
+    ACDSE_CHECK(begin <= end, "parallelFor range is inverted");
+    ACDSE_CHECK(grain > 0, "parallelFor grain must be positive");
+    if (begin == end)
+        return;
+    const std::size_t total = end - begin;
+
+    // Serial paths: a pool of one, a loop of one, or a nested call
+    // from inside a worker (the outer loop owns the parallelism).
+    if (workers_.empty() || total == 1 || tl_pool_worker) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<ForJob>();
+    job->begin = begin;
+    job->total = total;
+    job->grain = grain;
+    job->body = &body;
+
+    const std::size_t blocks = (total + grain - 1) / grain;
+    const std::size_t helpers = std::min(workers_.size(), blocks);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t h = 0; h < helpers; ++h)
+            queue_.push_back([job] { drain(*job); });
+    }
+    workCv_.notify_all();
+
+    drain(*job);
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&] {
+        return job->completed.load(std::memory_order_acquire) == total;
+    });
+    if (job->hasException)
+        std::rethrow_exception(job->exception);
+}
+
+} // namespace acdse

@@ -4,6 +4,7 @@
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "base/statistics.hh"
+#include "base/thread_pool.hh"
 
 namespace acdse
 {
@@ -20,15 +21,24 @@ ArchitectureCentricPredictor::trainOffline(
 {
     ACDSE_CHECK(!trainingSets.empty(),
                  "need at least one offline training program");
+    // One ANN per training program, trained across the shared pool.
+    // Every model trains from its own options (weight-init RNG seeded
+    // per model) into its own slot, so the parallel result is
+    // bit-identical to the serial one.
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models(
+        trainingSets.size());
+    ThreadPool::global().parallelFor(
+        0, trainingSets.size(), [&](std::size_t i) {
+            auto model = std::make_shared<ProgramSpecificPredictor>(
+                options_.programModel);
+            model->train(trainingSets[i].configs,
+                         trainingSets[i].values);
+            models[i] = std::move(model);
+        });
     programNames_.clear();
-    programModels_.clear();
-    for (const auto &set : trainingSets) {
-        auto model = std::make_shared<ProgramSpecificPredictor>(
-            options_.programModel);
-        model->train(set.configs, set.values);
+    for (const auto &set : trainingSets)
         programNames_.push_back(set.name);
-        programModels_.push_back(std::move(model));
-    }
+    programModels_ = std::move(models);
     offlineTrained_ = true;
     responsesFitted_ = false;
 }
@@ -69,17 +79,23 @@ ArchitectureCentricPredictor::fitResponses(
                  "configs/values size mismatch");
     ACDSE_CHECK(!configs.empty(), "need at least one response");
 
-    std::vector<std::vector<double>> xs;
-    xs.reserve(configs.size());
-    for (const auto &config : configs)
-        xs.push_back(features(config));
+    // Feature assembly is one ensemble forward pass per (response,
+    // model) pair -- the expensive part of the fit. Each response row
+    // lands in its own slot, so thread count cannot change the matrix
+    // handed to the (serial, deterministic) regression solve below.
+    std::vector<std::vector<double>> xs(configs.size());
+    ThreadPool::global().parallelFor(
+        0, configs.size(),
+        [&](std::size_t i) { xs[i] = features(configs[i]); },
+        /*grain=*/4);
     regressor_.fit(xs, values, options_.ridge, options_.intercept);
     responsesFitted_ = true;
 
-    std::vector<double> fitted;
-    fitted.reserve(xs.size());
-    for (const auto &x : xs)
-        fitted.push_back(regressor_.predict(x));
+    std::vector<double> fitted(xs.size());
+    ThreadPool::global().parallelFor(
+        0, xs.size(),
+        [&](std::size_t i) { fitted[i] = regressor_.predict(xs[i]); },
+        /*grain=*/16);
     trainingError_ = stats::rmae(fitted, values);
 }
 

@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <memory>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,6 +12,7 @@
 #include "base/csv.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "base/thread_pool.hh"
 #include "sim/simulator.hh"
 #include "trace/suites.hh"
 #include "trace/trace_generator.hh"
@@ -43,7 +43,9 @@ CampaignOptions::fromEnvironment()
         envSize("ACDSE_TRACE_LEN", options.traceLength);
     options.warmupInstructions =
         envSize("ACDSE_WARMUP", options.warmupInstructions);
-    options.threads = envSize("ACDSE_THREADS", options.threads);
+    // threads stays 0 here: the ThreadPool sizing rule (which itself
+    // honours ACDSE_THREADS) resolves it, the same way every other
+    // subsystem sizes its parallelism.
     if (const char *dir = std::getenv("ACDSE_CACHE_DIR"); dir && *dir)
         options.cacheDir = dir;
     return options;
@@ -229,42 +231,35 @@ Campaign::ensureComputed()
     for (std::size_t p = 0; p < programs_.size(); ++p)
         trace(p);
 
-    std::size_t workers = options_.threads
-                              ? options_.threads
-                              : std::thread::hardware_concurrency();
-    workers = std::max<std::size_t>(1, std::min(workers, pending.size()));
+    // The shared pool unless the campaign pins an explicit width (as
+    // the determinism tests do, comparing 1-thread vs N-thread runs).
+    ThreadPool *pool = &ThreadPool::global();
+    std::unique_ptr<ThreadPool> pinned;
+    if (options_.threads && options_.threads != pool->threads()) {
+        pinned = std::make_unique<ThreadPool>(options_.threads);
+        pool = pinned.get();
+    }
 
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    auto work = [&]() {
+    pool->parallelFor(0, pending.size(), [&](std::size_t slot) {
         SimulationOptions sim_options;
         sim_options.warmupInstructions = options_.warmupInstructions;
-        for (;;) {
-            const std::size_t slot = next.fetch_add(1);
-            if (slot >= pending.size())
-                return;
-            const std::size_t cell = pending[slot];
-            const std::size_t p = cell / configs_.size();
-            const std::size_t c = cell % configs_.size();
-            const SimulationResult result =
-                simulate(configs_[c], *traces_[p], sim_options);
-            results_[cell] = result.metrics;
-            computed_[cell] = true;
-            const std::size_t completed = done.fetch_add(1) + 1;
-            if (!options_.quiet &&
-                completed % std::max<std::size_t>(
-                                1, pending.size() / 10) == 0) {
-                inform("campaign: ", completed, "/", pending.size(),
-                       " simulations done");
-            }
+        const std::size_t cell = pending[slot];
+        const std::size_t p = cell / configs_.size();
+        const std::size_t c = cell % configs_.size();
+        const SimulationResult result =
+            simulate(configs_[c], *traces_[p], sim_options);
+        results_[cell] = result.metrics;
+        computed_[cell] = true;
+        const std::size_t completed = done.fetch_add(1) + 1;
+        if (!options_.quiet &&
+            completed %
+                    std::max<std::size_t>(1, pending.size() / 10) ==
+                0) {
+            inform("campaign: ", completed, "/", pending.size(),
+                   " simulations done");
         }
-    };
-    std::vector<std::thread> pool;
-    for (std::size_t w = 0; w + 1 < workers; ++w)
-        pool.emplace_back(work);
-    work();
-    for (auto &thread : pool)
-        thread.join();
+    });
 
     saveCache();
     allComputed_ = true;

@@ -6,6 +6,7 @@
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "base/thread_pool.hh"
 
 namespace acdse
 {
@@ -26,24 +27,33 @@ sampleIndices(std::size_t limit, std::size_t count, std::uint64_t seed)
     return all;
 }
 
-Evaluator::Evaluator(Campaign &campaign, ArchCentricOptions options)
+Evaluator::Evaluator(Campaign &campaign, ArchCentricOptions options,
+                     std::size_t threads)
     : campaign_(campaign), options_(options)
 {
+    if (threads)
+        ownedPool_ = std::make_unique<ThreadPool>(threads);
     campaign_.ensureComputed();
 }
 
-std::shared_ptr<const ProgramSpecificPredictor>
-Evaluator::programModel(std::size_t programIdx, Metric metric,
-                        std::size_t t, std::uint64_t seed)
-{
-    const auto key = std::make_tuple(programIdx, metric, t, seed);
-    auto it = modelCache_.find(key);
-    if (it != modelCache_.end())
-        return it->second;
+Evaluator::~Evaluator() = default;
 
+ThreadPool &
+Evaluator::pool()
+{
+    return ownedPool_ ? *ownedPool_ : ThreadPool::global();
+}
+
+std::shared_ptr<const ProgramSpecificPredictor>
+Evaluator::trainProgramModel(std::size_t programIdx, Metric metric,
+                             std::size_t t, std::uint64_t seed) const
+{
     // Per-program training sets use a seed derived from (seed, program)
     // so different programs see different configurations, as with
-    // independent random selection in the paper.
+    // independent random selection in the paper. The derivation is
+    // also what makes parallel training deterministic: a model's
+    // stream depends only on (seed, program), never on which worker
+    // trains it or in what order.
     const std::uint64_t derived =
         seed ^ (0x9e3779b97f4a7c15ULL * (programIdx + 1));
     const auto idx =
@@ -54,8 +64,58 @@ Evaluator::programModel(std::size_t programIdx, Metric metric,
     auto model = std::make_shared<ProgramSpecificPredictor>(opts);
     model->train(campaign_.configsAt(idx),
                  campaign_.metricAt(programIdx, metric, idx));
-    modelCache_.emplace(key, model);
     return model;
+}
+
+std::shared_ptr<const ProgramSpecificPredictor>
+Evaluator::programModel(std::size_t programIdx, Metric metric,
+                        std::size_t t, std::uint64_t seed)
+{
+    const ModelKey key = std::make_tuple(programIdx, metric, t, seed);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = modelCache_.find(key);
+        if (it != modelCache_.end())
+            return it->second;
+    }
+    auto model = trainProgramModel(programIdx, metric, t, seed);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    // Two folds can race to train the same model; both train it
+    // identically (deterministic derivation), so keeping whichever
+    // inserted first changes nothing.
+    return modelCache_.emplace(key, std::move(model)).first->second;
+}
+
+void
+Evaluator::warmProgramModels(const std::vector<std::size_t> &programs,
+                             Metric metric, std::size_t t,
+                             std::uint64_t seed)
+{
+    std::vector<std::size_t> missing;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        for (std::size_t p : programs) {
+            if (!modelCache_.contains(
+                    std::make_tuple(p, metric, t, seed)))
+                missing.push_back(p);
+        }
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()),
+                  missing.end());
+    if (missing.empty())
+        return;
+
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models(
+        missing.size());
+    pool().parallelFor(0, missing.size(), [&](std::size_t i) {
+        models[i] = trainProgramModel(missing[i], metric, t, seed);
+    });
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        modelCache_.emplace(std::make_tuple(missing[i], metric, t, seed),
+                            std::move(models[i]));
+    }
 }
 
 PredictionQuality
@@ -164,6 +224,46 @@ Evaluator::evaluateArchCentric(
         });
     quality.trainingErrorPercent = predictor.trainingErrorPercent();
     return quality;
+}
+
+std::vector<PredictionQuality>
+Evaluator::evaluateProgramSpecificSweep(
+    const std::vector<std::size_t> &programs, Metric metric,
+    std::size_t numSims, std::uint64_t seed)
+{
+    std::vector<PredictionQuality> results(programs.size());
+    pool().parallelFor(0, programs.size(), [&](std::size_t i) {
+        results[i] = evaluateProgramSpecific(programs[i], metric,
+                                             numSims, seed);
+    });
+    return results;
+}
+
+std::vector<PredictionQuality>
+Evaluator::evaluateArchCentricSweep(
+    const std::vector<std::size_t> &testPrograms, Metric metric,
+    std::size_t t, std::size_t r, std::uint64_t seed,
+    const std::vector<std::size_t> &trainingPool)
+{
+    const std::vector<std::size_t> &poolPrograms =
+        trainingPool.empty() ? testPrograms : trainingPool;
+    // Train every ANN a fold could need up front, in parallel; the
+    // folds below then only read the model cache.
+    warmProgramModels(poolPrograms, metric, t, seed);
+
+    std::vector<PredictionQuality> results(testPrograms.size());
+    pool().parallelFor(0, testPrograms.size(), [&](std::size_t i) {
+        const std::size_t p = testPrograms[i];
+        std::vector<std::size_t> training;
+        training.reserve(poolPrograms.size());
+        for (std::size_t q : poolPrograms) {
+            if (q != p)
+                training.push_back(q);
+        }
+        results[i] =
+            evaluateArchCentric(p, metric, training, t, r, seed);
+    });
+    return results;
 }
 
 } // namespace acdse

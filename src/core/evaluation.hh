@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -18,6 +19,8 @@
 
 namespace acdse
 {
+
+class ThreadPool;
 
 /** Quality of one prediction experiment. */
 struct PredictionQuality
@@ -36,13 +39,28 @@ std::vector<std::size_t> sampleIndices(std::size_t limit,
  * Runs the paper's experiments against a Campaign. Program-specific
  * ANNs are cached per (program, metric, T, seed): leave-one-out folds
  * share them, cutting evaluation cost by ~N x.
+ *
+ * The sweep entry points (evaluateProgramSpecificSweep,
+ * evaluateArchCentricSweep) spread their per-program folds across the
+ * thread pool; results are written to index-ordered slots and every
+ * fold derives its randomness from (seed, program), so sweeps are
+ * bit-identical at any thread count and to the equivalent serial loop
+ * of single-fold calls (tests/test_parallel_determinism.cc).
  */
 class Evaluator
 {
   public:
-    /** @param campaign a computed (or computable) campaign. */
+    /**
+     * @param campaign a computed (or computable) campaign.
+     * @param options  predictor hyper-parameters.
+     * @param threads  explicit sweep parallelism; 0 uses the shared
+     *                 pool (ACDSE_THREADS sizing rule).
+     */
     explicit Evaluator(Campaign &campaign,
-                       ArchCentricOptions options = {});
+                       ArchCentricOptions options = {},
+                       std::size_t threads = 0);
+
+    ~Evaluator();
 
     /** The underlying campaign. */
     Campaign &campaign() { return campaign_; }
@@ -69,6 +87,38 @@ class Evaluator
         std::size_t r, std::uint64_t seed);
 
     /**
+     * Program-specific baseline for every program in @p programs, in
+     * parallel across the pool. Element i is exactly what
+     * evaluateProgramSpecific(programs[i], ...) returns.
+     */
+    std::vector<PredictionQuality> evaluateProgramSpecificSweep(
+        const std::vector<std::size_t> &programs, Metric metric,
+        std::size_t numSims, std::uint64_t seed);
+
+    /**
+     * Architecture-centric evaluation of every program in
+     * @p testPrograms, in parallel across the pool. Fold i tests
+     * testPrograms[i] against a training set of @p trainingPool minus
+     * the test program (when @p trainingPool is empty: the other
+     * members of @p testPrograms -- classic leave-one-out). Element i
+     * is exactly what the equivalent single evaluateArchCentric call
+     * returns.
+     */
+    std::vector<PredictionQuality> evaluateArchCentricSweep(
+        const std::vector<std::size_t> &testPrograms, Metric metric,
+        std::size_t t, std::size_t r, std::uint64_t seed,
+        const std::vector<std::size_t> &trainingPool = {});
+
+    /**
+     * Train (and cache) the per-program ANNs for @p programs in
+     * parallel. Sweeps call this first so their folds only read the
+     * cache; benches may call it to front-load the offline phase.
+     */
+    void warmProgramModels(const std::vector<std::size_t> &programs,
+                           Metric metric, std::size_t t,
+                           std::uint64_t seed);
+
+    /**
      * Leave-one-out convenience: all campaign programs except the test
      * program (optionally restricted to the first @p suiteSize programs,
      * for SPEC-only training as in Section 7.3).
@@ -91,9 +141,25 @@ class Evaluator
         std::uint64_t seed);
 
   private:
+    using ModelKey =
+        std::tuple<std::size_t, Metric, std::size_t, std::uint64_t>;
+
+    /** Train one per-program ANN (no cache involvement). */
+    std::shared_ptr<const ProgramSpecificPredictor> trainProgramModel(
+        std::size_t programIdx, Metric metric, std::size_t t,
+        std::uint64_t seed) const;
+
+    /** The pool sweeps run on (shared or explicitly sized). */
+    ThreadPool &pool();
+
     Campaign &campaign_;
     ArchCentricOptions options_;
-    std::map<std::tuple<std::size_t, Metric, std::size_t, std::uint64_t>,
+    std::unique_ptr<ThreadPool> ownedPool_; //!< set iff threads != 0
+    // Guards modelCache_: sweep folds running on pool workers hit the
+    // cache concurrently (warmProgramModels makes those reads, but a
+    // cold fold may still insert).
+    std::mutex cacheMutex_;
+    std::map<ModelKey,
              std::shared_ptr<const ProgramSpecificPredictor>>
         modelCache_;
 };

@@ -1,5 +1,6 @@
 #include "serve/prediction_service.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -15,6 +16,10 @@ ServeOptions
 ServeOptions::fromEnvironment()
 {
     ServeOptions options;
+    // ACDSE_SERVE_THREADS is a serving-specific override; when unset,
+    // threads stays 0 and the service sizes itself with the shared
+    // ThreadPool rule (ACDSE_THREADS, else hardware parallelism), the
+    // same rule the campaign and the evaluator use.
     if (const char *value = std::getenv("ACDSE_SERVE_THREADS");
         value && *value) {
         options.threads = static_cast<std::size_t>(
@@ -25,7 +30,8 @@ ServeOptions::fromEnvironment()
 
 PredictionService::PredictionService(ModelArtifact artifact,
                                      ServeOptions options)
-    : artifact_(std::move(artifact)), options_(options)
+    : artifact_(std::move(artifact)), options_(options),
+      pool_(options.threads)
 {
     ACDSE_CHECK(!artifact_.empty(),
                  "cannot serve an artifact with no predictors");
@@ -41,33 +47,12 @@ PredictionService::PredictionService(ModelArtifact artifact,
                     " features, queries carry ", kNumParams);
     }
     ACDSE_CHECK(options_.chunk > 0, "chunk size must be positive");
-
-    std::size_t threads = options_.threads
-                              ? options_.threads
-                              : std::thread::hardware_concurrency();
-    threads = std::max<std::size_t>(1, threads);
-    // The calling thread participates in every batch, so spawn one
-    // fewer worker than the requested parallelism.
-    workers_.reserve(threads - 1);
-    for (std::size_t i = 0; i + 1 < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
 }
 
 PredictionService
 PredictionService::fromFile(const std::string &path, ServeOptions options)
 {
     return PredictionService(loadArtifact(path), options);
-}
-
-PredictionService::~PredictionService()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_ = true;
-    }
-    workCv_.notify_all();
-    for (auto &worker : workers_)
-        worker.join();
 }
 
 void
@@ -78,7 +63,8 @@ PredictionService::computeRange(
 {
     // Build each query's feature vector once and share it across all
     // served metrics; the scratch buffers persist across the whole
-    // range, so the per-point work is pure arithmetic.
+    // range (one chunk on the pooled path), so the per-point work is
+    // pure arithmetic.
     PredictScratch scratch;
     for (std::size_t i = begin; i < end; ++i) {
         PredictionRow &row = rows[i];
@@ -91,73 +77,6 @@ PredictionService::computeRange(
     }
 }
 
-std::size_t
-PredictionService::drainChunks(const std::vector<MicroarchConfig> &queries,
-                               std::vector<PredictionRow> &rows,
-                               std::size_t num_chunks)
-{
-    std::size_t done = 0;
-    for (;;) {
-        const std::size_t chunk = nextChunk_.fetch_add(1);
-        if (chunk >= num_chunks)
-            return done;
-        const std::size_t begin = chunk * options_.chunk;
-        const std::size_t end =
-            std::min(begin + options_.chunk, queries.size());
-        computeRange(queries, rows, begin, end);
-        ++done;
-    }
-}
-
-void
-PredictionService::workerLoop()
-{
-    std::uint64_t seen_generation = 0;
-    for (;;) {
-        const std::vector<MicroarchConfig> *queries = nullptr;
-        std::vector<PredictionRow> *rows = nullptr;
-        std::size_t num_chunks = 0;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock, [&] {
-                return shutdown_ || generation_ != seen_generation;
-            });
-            if (shutdown_)
-                return;
-            seen_generation = generation_;
-            // A worker can wake after the batch it was notified for
-            // has fully completed (the pointers are then already
-            // cleared); there is nothing left to claim in that case.
-            if (!batchQueries_ || !batchRows_)
-                continue;
-            queries = batchQueries_;
-            rows = batchRows_;
-            num_chunks = batchChunks_;
-            // Register under the same lock that published the batch:
-            // from here until the matching decrement below, predict()
-            // must not return (its queries/rows would be destroyed out
-            // from under the drain) and no later batch may reset
-            // nextChunk_ (this worker's claims would then land on the
-            // freed previous batch and corrupt the new batch's done
-            // count).
-            ++activeWorkers_;
-        }
-        const std::size_t done = drainChunks(*queries, *rows, num_chunks);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            chunksDone_ += done;
-            ACDSE_DCHECK(activeWorkers_ > 0,
-                         "worker finishing a batch it never joined");
-            ACDSE_DCHECK(chunksDone_ <= batchChunks_,
-                         "more chunks completed (", chunksDone_,
-                         ") than the batch has (", batchChunks_, ")");
-            --activeWorkers_;
-            if (chunksDone_ == batchChunks_ && activeWorkers_ == 0)
-                doneCv_.notify_all();
-        }
-    }
-}
-
 std::vector<PredictionRow>
 PredictionService::predict(const std::vector<MicroarchConfig> &queries)
 {
@@ -166,37 +85,22 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
     if (queries.empty())
         return rows;
 
-    if (workers_.empty() || queries.size() <= options_.inlineBelow) {
+    if (pool_.workers() == 0 || queries.size() <= options_.inlineBelow) {
         computeRange(queries, rows, 0, queries.size());
     } else {
         std::lock_guard<std::mutex> batch_lock(batchMutex_);
         const std::size_t num_chunks =
             (queries.size() + options_.chunk - 1) / options_.chunk;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ACDSE_CHECK(!batchQueries_ && !batchRows_ &&
-                            activeWorkers_ == 0,
-                        "batch published while the previous one is "
-                        "still in flight");
-            batchQueries_ = &queries;
-            batchRows_ = &rows;
-            batchChunks_ = num_chunks;
-            chunksDone_ = 0;
-            nextChunk_.store(0, std::memory_order_relaxed);
-            ++generation_;
-        }
-        workCv_.notify_all();
-        const std::size_t done = drainChunks(queries, rows, num_chunks);
-        std::unique_lock<std::mutex> lock(mutex_);
-        chunksDone_ += done;
-        // Wait for every chunk AND for every registered worker to have
-        // left the batch: a worker that copied the batch pointers but
-        // has not claimed a chunk yet must not outlive queries/rows.
-        doneCv_.wait(lock, [&] {
-            return chunksDone_ == batchChunks_ && activeWorkers_ == 0;
+        // Chunks write disjoint row ranges, so the batch result is
+        // identical at every thread count; parallelFor blocks until
+        // the last chunk finished, so queries/rows never outlive the
+        // workers touching them.
+        pool_.parallelFor(0, num_chunks, [&](std::size_t chunk) {
+            const std::size_t begin = chunk * options_.chunk;
+            const std::size_t end =
+                std::min(begin + options_.chunk, queries.size());
+            computeRange(queries, rows, begin, end);
         });
-        batchQueries_ = nullptr;
-        batchRows_ = nullptr;
     }
 
     const double elapsed_ms =

@@ -1,35 +1,36 @@
 /**
  * @file
  * The prediction server: batched design-space queries against a loaded
- * model artifact, executed on a persistent worker thread pool.
+ * model artifact, executed on the shared work scheduler
+ * (base/thread_pool).
  *
  * One query is a 13-parameter MicroarchConfig; the answer is the
  * predicted value of every metric the artifact carries (cycles,
  * energy, ED, EDD). Prediction is pure floating-point arithmetic over
  * the trained ANN ensemble -- microseconds per point -- so the service
- * chunks each batch across its workers and the hot path is lock-free:
- * workers claim chunks from an atomic cursor and write to disjoint
- * slices of the result vector.
+ * splits each batch into fixed-size chunks and parallelFor()s them:
+ * every chunk writes a disjoint slice of the result vector, which is
+ * both lock-free and bit-deterministic at any thread count.
  *
  * Per-batch latency and lifetime throughput counters are kept so a
  * deployment can watch the serving path (see ServiceStats and
  * bench/bench_serve_throughput.cc).
  *
  * Environment knobs:
- *  - ACDSE_SERVE_THREADS  worker threads (default: hardware parallelism)
+ *  - ACDSE_SERVE_THREADS  serving threads; unset falls through to the
+ *                         shared sizing rule (ACDSE_THREADS, else the
+ *                         hardware parallelism)
  */
 
 #pragma once
 
 #include <array>
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "arch/microarch_config.hh"
+#include "base/thread_pool.hh"
 #include "serve/model_store.hh"
 #include "sim/metrics.hh"
 
@@ -39,10 +40,14 @@ namespace acdse
 /** Prediction-service tuning parameters. */
 struct ServeOptions
 {
-    std::size_t threads = 0;    //!< worker threads (0 = hardware)
+    /**
+     * Total serving parallelism; 0 resolves through
+     * ThreadPool::resolveThreads (ACDSE_THREADS, else hardware).
+     */
+    std::size_t threads = 0;
     /**
      * Query points per work unit. Small enough to balance load across
-     * workers, large enough that the atomic claim is amortised away.
+     * workers, large enough that the per-chunk claim is amortised away.
      */
     std::size_t chunk = 64;
     /**
@@ -96,10 +101,11 @@ struct ServiceStats
 /**
  * A running prediction server over one model artifact.
  *
- * Thread model: the worker pool parallelises *within* one batch;
- * concurrent predict() callers are serialised (the artifact's models
- * are shared read-only, so this is a simplicity choice, not a safety
- * one). Construction spins the pool up; destruction joins it.
+ * Thread model: the service owns a ThreadPool that parallelises
+ * *within* one batch; concurrent predict() callers are serialised (the
+ * artifact's models are shared read-only, so this is a simplicity
+ * choice, not a safety one). Construction spins the pool up;
+ * destruction drains and joins it.
  */
 class PredictionService
 {
@@ -117,8 +123,6 @@ class PredictionService
                                       ServeOptions options =
                                           ServeOptions::fromEnvironment());
 
-    ~PredictionService();
-
     PredictionService(const PredictionService &) = delete;
     PredictionService &operator=(const PredictionService &) = delete;
 
@@ -129,7 +133,7 @@ class PredictionService
     std::vector<Metric> metrics() const { return artifact_.metrics(); }
 
     /** Number of pool workers (excluding the calling thread). */
-    std::size_t poolThreads() const { return workers_.size(); }
+    std::size_t poolThreads() const { return pool_.workers(); }
 
     /**
      * Predict every artifact metric for a batch of query points.
@@ -148,14 +152,6 @@ class PredictionService
     void resetStats();
 
   private:
-    /** Worker main loop: wait for a batch, drain chunks, repeat. */
-    void workerLoop();
-
-    /** Claim and compute chunks of the current batch; returns #done. */
-    std::size_t drainChunks(const std::vector<MicroarchConfig> &queries,
-                            std::vector<PredictionRow> &rows,
-                            std::size_t num_chunks);
-
     /** Predict queries[begin, end) into rows. */
     void computeRange(const std::vector<MicroarchConfig> &queries,
                       std::vector<PredictionRow> &rows, std::size_t begin,
@@ -166,30 +162,7 @@ class PredictionService
 
     ModelArtifact artifact_;
     ServeOptions options_;
-
-    // Pool state. mutex_ guards the batch hand-off and completion
-    // accounting; the per-chunk claims inside a batch go through the
-    // lock-free cursor nextChunk_.
-    std::vector<std::thread> workers_;
-    mutable std::mutex mutex_;
-    std::condition_variable workCv_;
-    std::condition_variable doneCv_;
-    bool shutdown_ = false;
-    std::uint64_t generation_ = 0;
-    const std::vector<MicroarchConfig> *batchQueries_ = nullptr;
-    std::vector<PredictionRow> *batchRows_ = nullptr;
-    std::size_t batchChunks_ = 0;
-    std::size_t chunksDone_ = 0;
-    /**
-     * Workers currently between copying the batch pointers and folding
-     * their results back in. predict() waits for this to reach zero --
-     * not just for every chunk to be computed -- before returning and
-     * before a later batch may reset nextChunk_: a worker that woke
-     * late still holds the old batch's pointers, and letting a new
-     * batch start would send its chunk claims at freed memory.
-     */
-    std::size_t activeWorkers_ = 0;
-    std::atomic<std::size_t> nextChunk_{0};
+    ThreadPool pool_;
 
     // Serialises public predict() callers.
     std::mutex batchMutex_;
@@ -200,4 +173,3 @@ class PredictionService
 };
 
 } // namespace acdse
-

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark throughput: fail when a measured metric drops
+more than ``tolerance`` below its checked-in baseline floor.
+
+Usage:
+    check_bench_regression.py --baseline bench/baseline.json \
+        [--train BENCH_train.json] [--serve BENCH_serve.json]
+
+``bench/baseline.json`` holds conservative *floors*, not point
+measurements::
+
+    {
+      "tolerance": 0.20,
+      "train": {"metrics": {"loo_folds_per_s_t1": 40.0, ...}},
+      "serve": {"metrics": {"serve_best_pps": 100000.0, ...}}
+    }
+
+A metric passes when ``measured >= floor * (1 - tolerance)``. Metrics
+present in a bench result but absent from the baseline are reported
+but not gated (so new metrics can land before their floor does).
+
+Baseline-ratcheting procedure
+-----------------------------
+Floors are deliberately below what CI runners measure, so routine
+variance never fails a PR; the gate exists to catch large regressions
+(a serialised hot loop, an accidental debug build). To ratchet:
+
+1. Collect the ``BENCH_*.json`` artifacts from several recent green
+   runs of the ``bench-regression`` job (they are uploaded on every
+   run).
+2. For each gated metric take the *minimum* across those runs, then
+   multiply by ~0.5 to absorb runner-to-runner variance.
+3. Edit ``bench/baseline.json`` with the new floor in the same PR that
+   justifies it (an optimisation PR raises floors; floors are only
+   lowered with a comment in the PR explaining why the cost is
+   accepted).
+
+Speedup ratios (``loo_speedup_tmax_over_t1``) are only meaningful on
+multi-core runners; the benches gate those themselves when the
+hardware allows, so the baseline normally omits them.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_bench(name, baseline, result_path, tolerance, rows):
+    """Append (metric, floor, measured, status) rows; return failures."""
+    floors = baseline.get(name, {}).get("metrics", {})
+    if not os.path.exists(result_path):
+        rows.append((name, "-", "-", f"MISSING {result_path}"))
+        return 1
+    result = load(result_path)
+    if result.get("schema") != "acdse-bench-v1":
+        rows.append((name, "-", "-",
+                     f"BAD SCHEMA {result.get('schema')!r}"))
+        return 1
+    measured = result.get("metrics", {})
+    failures = 0
+    for metric in sorted(set(floors) | set(measured)):
+        if metric not in floors:
+            rows.append((metric, "-", f"{measured[metric]:.2f}",
+                         "ungated"))
+            continue
+        if metric not in measured:
+            rows.append((metric, f"{floors[metric]:.2f}", "-",
+                         "FAIL (not measured)"))
+            failures += 1
+            continue
+        minimum = floors[metric] * (1.0 - tolerance)
+        ok = measured[metric] >= minimum
+        rows.append((metric, f"{floors[metric]:.2f}",
+                     f"{measured[metric]:.2f}",
+                     "ok" if ok else f"FAIL (< {minimum:.2f})"))
+        failures += 0 if ok else 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--train", default="BENCH_train.json")
+    parser.add_argument("--serve", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    tolerance = float(baseline.get("tolerance", 0.20))
+
+    rows = []
+    failures = 0
+    failures += check_bench("train", baseline, args.train, tolerance,
+                            rows)
+    failures += check_bench("serve", baseline, args.serve, tolerance,
+                            rows)
+
+    header = ("metric", "baseline floor", "measured", "status")
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(4)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    verdict = ("OK: all gated metrics within "
+               f"{tolerance:.0%} of their floors" if failures == 0 else
+               f"FAIL: {failures} metric(s) regressed beyond "
+               f"{tolerance:.0%} tolerance")
+    report = "\n".join(lines + ["", verdict])
+    print(report)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write("### Benchmark regression check\n\n```\n")
+            summary.write(report)
+            summary.write("\n```\n")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

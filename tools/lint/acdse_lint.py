@@ -48,6 +48,7 @@ SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
 # themselves.
 ATOMIC_WRITE_IMPLS = {
     Path("src/base/csv.cc"),
+    Path("src/base/json.cc"),
     Path("src/serve/model_store.cc"),
 }
 
