@@ -54,14 +54,21 @@ main()
         campaign.configsAt(sims),
         campaign.metricAt(applu, Metric::Energy, sims));
 
-    // Evaluate both over the whole sampled space.
+    // Evaluate both over the whole sampled space, one batched sweep
+    // per model (bit-identical to the per-point predict loop).
     const std::size_t n = campaign.configs().size();
     std::vector<double> actual(n), ps(n), ac(n);
+    std::vector<double> features(n * kNumParams);
     for (std::size_t c = 0; c < n; ++c) {
         actual[c] = campaign.result(applu, c).energyNj;
-        ps[c] = program_specific.predict(campaign.configs()[c]);
-        ac[c] = arch_centric.predict(campaign.configs()[c]);
+        campaign.configs()[c].featuresInto(&features[c * kNumParams]);
     }
+    MlpBatchScratch ps_scratch;
+    program_specific.predictBatchFromFeatures(features.data(), n,
+                                              ps.data(), ps_scratch);
+    BatchPredictScratch ac_scratch;
+    arch_centric.predictBatchFromFeatures(features.data(), n, ac.data(),
+                                          ac_scratch);
 
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), 0);

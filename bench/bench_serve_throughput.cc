@@ -69,7 +69,12 @@ syntheticArtifact(std::size_t num_metrics, std::size_t num_models)
         for (std::size_t j = 0; j < num_models; ++j) {
             const double wide = 0.5 + 0.25 * static_cast<double>(j + m);
             const double mem = 2.0 - 0.15 * static_cast<double>(j);
-            sets[j].name = "p" + std::to_string(j);
+            // snprintf, not string concatenation:
+            // `"p" + std::to_string(j)` trips a GCC 12 -O3 -Wrestrict
+            // false positive (GCC PR105651).
+            char name[32];
+            std::snprintf(name, sizeof(name), "p%zu", j);
+            sets[j].name = name;
             sets[j].configs = train;
             for (const auto &config : train)
                 sets[j].values.push_back(

@@ -32,8 +32,10 @@
 
 #include "base/json.hh"
 #include "base/parse.hh"
+#include "base/rng.hh"
 #include "base/thread_pool.hh"
 #include "core/evaluation.hh"
+#include "ml/matrix.hh"
 
 using namespace acdse;
 
@@ -114,6 +116,41 @@ measureLooSweep(Campaign &campaign, std::size_t threads,
     return best;
 }
 
+/**
+ * Dense matmul throughput (multiply + gram of a 256x64 matrix, the
+ * shapes the regression solves build): iterations/s, best of @p reps.
+ * Tracks the ml/matrix kernels after their zero-skip branches were
+ * dropped in favour of straight-line vectorisable loops.
+ */
+double
+measureMatmul(std::size_t reps)
+{
+    Rng rng(0x3a7'0001ULL);
+    Matrix a(256, 64);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            a(r, c) = rng.nextDouble() * 2.0 - 1.0;
+    }
+    const Matrix at = a.transposed();
+
+    double best = 0.0;
+    double sink = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+        constexpr std::size_t kIters = 40;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < kIters; ++i) {
+            const Matrix product = at.multiply(a);
+            const Matrix g = a.gram();
+            sink += product(0, 0) + g(0, 0);
+        }
+        best = std::max(best,
+                        static_cast<double>(kIters) / seconds(start));
+    }
+    if (sink == 0.0) // keep the products observable
+        std::printf("(matmul sink: %f)\n", sink);
+    return best;
+}
+
 } // namespace
 
 int
@@ -176,6 +213,10 @@ main()
     std::printf("\nLOO sweep speedup at %zu threads: %.2fx\n",
                 counts.back(), speedup);
 
+    const double matmul = measureMatmul(reps);
+    std::printf("dense matmul (256x64 multiply+gram): %.1f iters/s\n",
+                matmul);
+
     const std::string out = [] {
         if (const char *value = std::getenv("ACDSE_BENCH_JSON");
             value && *value)
@@ -197,6 +238,7 @@ main()
         .key("loo_folds_per_s_t1").value(loo_t1)
         .key("loo_folds_per_s_tmax").value(loo_tmax)
         .key("loo_speedup_tmax_over_t1").value(speedup)
+        .key("matmul_iters_per_s").value(matmul)
         .endObject()
         .endObject();
     writeTextAtomic(out, json.str());

@@ -45,13 +45,21 @@ MicroarchConfig::asVector() const
 std::vector<double>
 MicroarchConfig::asFeatureVector() const
 {
-    std::vector<double> v = asVector();
+    std::vector<double> v(kNumParams);
+    featuresInto(v.data());
+    return v;
+}
+
+void
+MicroarchConfig::featuresInto(double *out) const
+{
+    for (std::size_t i = 0; i < kNumParams; ++i)
+        out[i] = static_cast<double>(values_[i]);
     for (Param p : {Param::BpredSize, Param::BtbSize, Param::Il1Size,
                     Param::Dl1Size, Param::L2Size}) {
-        v[static_cast<std::size_t>(p)] =
-            std::log2(v[static_cast<std::size_t>(p)]);
+        out[static_cast<std::size_t>(p)] =
+            std::log2(out[static_cast<std::size_t>(p)]);
     }
-    return v;
 }
 
 std::string

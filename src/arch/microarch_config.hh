@@ -68,6 +68,14 @@ class MicroarchConfig
      */
     std::vector<double> asFeatureVector() const;
 
+    /**
+     * Write asFeatureVector() into out[0 .. kNumParams) without
+     * allocating -- the batched predict paths fill contiguous
+     * row-major feature matrices with this. Values are bit-identical
+     * to asFeatureVector().
+     */
+    void featuresInto(double *out) const;
+
     /** All 13 values in Param order. */
     const std::array<int, kNumParams> &raw() const { return values_; }
 

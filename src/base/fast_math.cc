@@ -1,71 +1,14 @@
 #include "base/fast_math.hh"
 
-#include <array>
-#include <cmath>
-#include <cstddef>
-
 namespace acdse
 {
-
-namespace
+namespace detail
 {
-
-constexpr std::size_t kSegments = 256;
-constexpr double kTableLimit = 5.0;
-constexpr double kStep = kTableLimit / static_cast<double>(kSegments);
-
-/** Cubic Hermite coefficients for one interval, in t = x - x0. */
-struct Segment
-{
-    double f;   //!< tanh(x0)
-    double d;   //!< tanh'(x0)
-    double c2;  //!< quadratic coefficient
-    double c3;  //!< cubic coefficient
-};
-
-/**
- * The interpolation table, built from std::tanh on first use (a magic
- * static, so initialisation is thread-safe and the table is immutable
- * afterwards). Matching values *and* derivatives at every node keeps
- * the maximum error of each cubic at h^4/384 * max|tanh''''| ~ 1.5e-9.
- */
-const std::array<Segment, kSegments> &
-table()
-{
-    static const std::array<Segment, kSegments> segments = [] {
-        std::array<Segment, kSegments> t{};
-        for (std::size_t k = 0; k < kSegments; ++k) {
-            const double x0 = static_cast<double>(k) * kStep;
-            const double x1 = x0 + kStep;
-            const double f0 = std::tanh(x0);
-            const double f1 = std::tanh(x1);
-            const double d0 = 1.0 - f0 * f0;
-            const double d1 = 1.0 - f1 * f1;
-            const double slope = (f1 - f0) / kStep;
-            t[k].f = f0;
-            t[k].d = d0;
-            t[k].c2 = (3.0 * slope - 2.0 * d0 - d1) / kStep;
-            t[k].c3 = (d0 + d1 - 2.0 * slope) / (kStep * kStep);
-        }
-        return t;
-    }();
-    return segments;
-}
-
-} // namespace
 
 double
-fastTanh(double x)
+fastTanhTail(double x)
 {
     const double ax = std::fabs(x);
-    if (ax < kTableLimit) [[likely]] {
-        const double u = ax / kStep;
-        const std::size_t k = static_cast<std::size_t>(u);
-        const double t = (u - static_cast<double>(k)) * kStep;
-        const Segment &s = table()[k];
-        const double p = s.f + t * (s.d + t * (s.c2 + t * s.c3));
-        return std::copysign(p, x);
-    }
     if (ax < 19.0625) {
         const double e = std::exp(-2.0 * ax);
         return std::copysign((1.0 - e) / (1.0 + e), x);
@@ -75,4 +18,5 @@ fastTanh(double x)
     return std::copysign(std::isnan(x) ? x : 1.0, x);
 }
 
+} // namespace detail
 } // namespace acdse

@@ -3,6 +3,7 @@
 #include "base/binary_io.hh"
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "base/statistics.hh"
 #include "base/thread_pool.hh"
 
@@ -59,16 +60,6 @@ ArchitectureCentricPredictor::useModels(
     responsesFitted_ = false;
 }
 
-std::vector<double>
-ArchitectureCentricPredictor::features(const MicroarchConfig &config) const
-{
-    std::vector<double> f;
-    f.reserve(programModels_.size());
-    for (const auto &model : programModels_)
-        f.push_back(model->predict(config));
-    return f;
-}
-
 void
 ArchitectureCentricPredictor::fitResponses(
     const std::vector<MicroarchConfig> &configs,
@@ -80,14 +71,31 @@ ArchitectureCentricPredictor::fitResponses(
     ACDSE_CHECK(!configs.empty(), "need at least one response");
 
     // Feature assembly is one ensemble forward pass per (response,
-    // model) pair -- the expensive part of the fit. Each response row
-    // lands in its own slot, so thread count cannot change the matrix
-    // handed to the (serial, deterministic) regression solve below.
-    std::vector<std::vector<double>> xs(configs.size());
-    ThreadPool::global().parallelFor(
-        0, configs.size(),
-        [&](std::size_t i) { xs[i] = features(configs[i]); },
-        /*grain=*/4);
+    // model) pair -- the expensive part of the fit. Each model runs
+    // its batched kernel over all responses at once (no per-point
+    // scratch allocation) into its own model-major slot, so thread
+    // count cannot change the matrix handed to the (serial,
+    // deterministic) regression solve below.
+    const std::size_t n = configs.size();
+    const std::size_t m = programModels_.size();
+    const std::size_t dim = featureDim();
+    ACDSE_CHECK(dim == kNumParams, "ensemble expects ", dim,
+                " features, configurations carry ", kNumParams);
+    std::vector<double> rows(n * dim);
+    for (std::size_t i = 0; i < n; ++i)
+        configs[i].featuresInto(&rows[i * dim]);
+    std::vector<double> ensemble(m * n);
+    ThreadPool::global().parallelFor(0, m, [&](std::size_t j) {
+        MlpBatchScratch scratch;
+        programModels_[j]->predictBatchFromFeatures(
+            rows.data(), n, &ensemble[j * n], scratch);
+    });
+    std::vector<std::vector<double>> xs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i].resize(m);
+        for (std::size_t j = 0; j < m; ++j)
+            xs[i][j] = ensemble[j * n + i];
+    }
     regressor_.fit(xs, values, options_.ridge, options_.intercept);
     responsesFitted_ = true;
 
@@ -118,6 +126,43 @@ ArchitectureCentricPredictor::predictFromFeatures(
                                                    scratch.scaled);
     }
     return regressor_.predict(scratch.ensemble);
+}
+
+void
+ArchitectureCentricPredictor::predictBatchFromFeatures(
+    const double *features, std::size_t count, double *out,
+    BatchPredictScratch &scratch) const
+{
+    ACDSE_DCHECK(ready(), "predict before training/responses");
+    const std::size_t m = programModels_.size();
+    const std::size_t d = featureDim();
+    scratch.ensemble.resize(m * count);
+    // Transpose each full block to feature-major once and let every
+    // member model consume it directly (predictBlockSoaFromFeatures):
+    // the strided row gather is shared across the ensemble instead of
+    // re-done per model. Remainder points run each model's ordinary
+    // batch path, which is the scalar path on a sub-block count.
+    const std::size_t full = count - count % simd::kLanes;
+    scratch.soa.resize(d * simd::kLanes);
+    for (std::size_t base = 0; base < full; base += simd::kLanes) {
+        simd::transposeBlock(features + base * d, d, scratch.soa.data());
+        for (std::size_t j = 0; j < m; ++j) {
+            programModels_[j]->predictBlockSoaFromFeatures(
+                scratch.soa.data(),
+                scratch.ensemble.data() + j * count + base, scratch.mlp);
+        }
+    }
+    if (full < count) {
+        for (std::size_t j = 0; j < m; ++j) {
+            programModels_[j]->predictBatchFromFeatures(
+                features + full * d, count - full,
+                scratch.ensemble.data() + j * count + full, scratch.mlp);
+        }
+    }
+    // Model-major ensemble outputs are exactly a feature-major block
+    // for the regressor: combine all lanes in one pass, in the same
+    // ascending-model order as the scalar predict.
+    regressor_.predictSoa(scratch.ensemble.data(), count, out);
 }
 
 void

@@ -56,6 +56,20 @@ struct PredictScratch
     std::vector<double> ensemble;  //!< the ANN outputs (regressor input)
 };
 
+/**
+ * Reusable buffers for
+ * ArchitectureCentricPredictor::predictBatchFromFeatures. Grows to
+ * O(ensemble size x batch count); callers stream fixed-size blocks
+ * (the evaluator scores 256-point blocks, the service predicts one
+ * worker chunk at a time) so the footprint stays cache-sized.
+ */
+struct BatchPredictScratch
+{
+    MlpBatchScratch mlp;           //!< shared per-ANN kernel buffers
+    std::vector<double> ensemble;  //!< model-major ANN outputs
+    std::vector<double> soa;       //!< one feature-major transposed block
+};
+
 /** Training data for one offline training program. */
 struct ProgramTrainingSet
 {
@@ -110,6 +124,20 @@ class ArchitectureCentricPredictor
                                PredictScratch &scratch) const;
 
     /**
+     * Predict @p count design points at once: point c occupies
+     * features[c * featureDim() .. (c+1) * featureDim()) row-major and
+     * its prediction lands in out[c]. Each simd::kLanes-wide block is
+     * transposed to feature-major once and every ensemble ANN runs its
+     * vectorised block kernel on that shared layout, then the fitted
+     * linear combination folds the model-major outputs lane-wise
+     * (LinearRegression::predictSoa). out[c] is bit-identical to
+     * predictFromFeatures on point c at any count and thread count.
+     */
+    void predictBatchFromFeatures(const double *features,
+                                  std::size_t count, double *out,
+                                  BatchPredictScratch &scratch) const;
+
+    /**
      * Error of the fit on its own responses (the "training error" of
      * Figs. 11/12, which the paper shows is a usable proxy for the
      * testing error and so flags programs with unique behaviour).
@@ -155,9 +183,6 @@ class ArchitectureCentricPredictor
     void load(BinaryReader &r);
 
   private:
-    /** ANN outputs at one configuration (the regressor's features). */
-    std::vector<double> features(const MicroarchConfig &config) const;
-
     ArchCentricOptions options_;
     std::vector<std::string> programNames_;
     std::vector<std::shared_ptr<const ProgramSpecificPredictor>>

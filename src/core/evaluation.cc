@@ -11,6 +11,78 @@
 namespace acdse
 {
 
+namespace
+{
+
+/**
+ * Block size for batched scoring. Large enough to amortise the per-call
+ * scaler transform and keep the lane kernels fed; small enough that the
+ * feature block plus the ensemble scratch stay cache-resident.
+ */
+constexpr std::size_t kScoreBlock = 256;
+
+/**
+ * Stream configs @p idx through @p predictBlock in kScoreBlock chunks
+ * and score the predictions. The actual/predicted vectors are filled in
+ * the same index order as the per-point scorePredictions template, so
+ * the rmae/correlation sums accumulate identically.
+ */
+template <typename BatchFn>
+PredictionQuality
+scoreBlocks(const Campaign &campaign, std::size_t programIdx,
+            Metric metric, const std::vector<std::size_t> &idx,
+            BatchFn &&predictBlock)
+{
+    std::vector<double> actual(idx.size());
+    std::vector<double> predicted(idx.size());
+    std::vector<double> features(
+        std::min(kScoreBlock, idx.size()) * kNumParams);
+    for (std::size_t base = 0; base < idx.size(); base += kScoreBlock) {
+        const std::size_t n = std::min(kScoreBlock, idx.size() - base);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = idx[base + i];
+            campaign.configs()[c].featuresInto(&features[i * kNumParams]);
+            actual[base + i] =
+                campaign.result(programIdx, c).get(metric);
+        }
+        predictBlock(features.data(), n, &predicted[base]);
+    }
+    PredictionQuality quality;
+    quality.rmaePercent = stats::rmae(predicted, actual);
+    quality.correlation = stats::correlation(predicted, actual);
+    return quality;
+}
+
+} // namespace
+
+PredictionQuality
+scorePredictionsBatched(const Campaign &campaign, std::size_t programIdx,
+                        Metric metric,
+                        const std::vector<std::size_t> &idx,
+                        const ArchitectureCentricPredictor &predictor)
+{
+    BatchPredictScratch scratch;
+    return scoreBlocks(
+        campaign, programIdx, metric, idx,
+        [&](const double *xs, std::size_t n, double *out) {
+            predictor.predictBatchFromFeatures(xs, n, out, scratch);
+        });
+}
+
+PredictionQuality
+scorePredictionsBatched(const Campaign &campaign, std::size_t programIdx,
+                        Metric metric,
+                        const std::vector<std::size_t> &idx,
+                        const ProgramSpecificPredictor &predictor)
+{
+    MlpBatchScratch scratch;
+    return scoreBlocks(
+        campaign, programIdx, metric, idx,
+        [&](const double *xs, std::size_t n, double *out) {
+            predictor.predictBatchFromFeatures(xs, n, out, scratch);
+        });
+}
+
 std::vector<std::size_t>
 sampleIndices(std::size_t limit, std::size_t count, std::uint64_t seed)
 {
@@ -141,18 +213,12 @@ Evaluator::evaluateProgramSpecific(std::size_t programIdx, Metric metric,
         if (!is_train[c])
             test_idx.push_back(c);
     }
-    PredictionQuality quality = scorePredictions(
-        campaign_, programIdx, metric, test_idx,
-        [&](const MicroarchConfig &config) {
-            return model.predict(config);
-        });
+    PredictionQuality quality = scorePredictionsBatched(
+        campaign_, programIdx, metric, test_idx, model);
 
     // Training error: the model scored on its own training points.
-    PredictionQuality train_quality = scorePredictions(
-        campaign_, programIdx, metric, train_idx,
-        [&](const MicroarchConfig &config) {
-            return model.predict(config);
-        });
+    PredictionQuality train_quality = scorePredictionsBatched(
+        campaign_, programIdx, metric, train_idx, model);
     quality.trainingErrorPercent = train_quality.rmaePercent;
     return quality;
 }
@@ -217,11 +283,8 @@ Evaluator::evaluateArchCentric(
             test_idx.push_back(c);
     }
 
-    PredictionQuality quality = scorePredictions(
-        campaign_, testProgramIdx, metric, test_idx,
-        [&](const MicroarchConfig &config) {
-            return predictor.predict(config);
-        });
+    PredictionQuality quality = scorePredictionsBatched(
+        campaign_, testProgramIdx, metric, test_idx, predictor);
     quality.trainingErrorPercent = predictor.trainingErrorPercent();
     return quality;
 }

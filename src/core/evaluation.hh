@@ -164,6 +164,25 @@ class Evaluator
         modelCache_;
 };
 
+/**
+ * Score a batch-capable predictor over configs @p idx of a program,
+ * streaming fixed-size feature blocks through the vectorised
+ * predictBatchFromFeatures kernels instead of one predict call per
+ * point. Bit-identical to the equivalent per-point scorePredictions
+ * loop (the batch kernels are lane-exact against scalar prediction and
+ * the score accumulates in the same index order).
+ */
+PredictionQuality scorePredictionsBatched(
+    const Campaign &campaign, std::size_t programIdx, Metric metric,
+    const std::vector<std::size_t> &idx,
+    const ArchitectureCentricPredictor &predictor);
+
+/** Batched scoring of a program-specific model; see above. */
+PredictionQuality scorePredictionsBatched(
+    const Campaign &campaign, std::size_t programIdx, Metric metric,
+    const std::vector<std::size_t> &idx,
+    const ProgramSpecificPredictor &predictor);
+
 /** Score predictions of @p predict over configs @p idx of a program. */
 template <typename PredictFn>
 PredictionQuality

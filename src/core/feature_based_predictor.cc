@@ -108,10 +108,16 @@ double
 FeatureBasedPredictor::predict(const MicroarchConfig &config) const
 {
     ACDSE_CHECK(ready(), "predict before training/targeting");
+    // Build the feature vector once and share one scaled-input scratch
+    // across the ensemble instead of re-deriving both per model.
+    const std::vector<double> features = config.asFeatureVector();
+    std::vector<double> scratch;
     double acc = 0.0;
     for (std::size_t j = 0; j < models_.size(); ++j) {
-        if (weights_[j] > 1e-9)
-            acc += weights_[j] * models_[j]->predict(config);
+        if (weights_[j] > 1e-9) {
+            acc += weights_[j] *
+                   models_[j]->predictFromFeatures(features, scratch);
+        }
     }
     return acc;
 }

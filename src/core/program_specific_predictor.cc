@@ -5,6 +5,7 @@
 #include "base/binary_io.hh"
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/simd.hh"
 
 namespace acdse
 {
@@ -69,6 +70,31 @@ ProgramSpecificPredictor::predictFromFeatures(
     ACDSE_CHECK(trained(), "predict before train");
     const double raw = mlp_.predict(features, scratch);
     return options_.logTarget ? std::exp(raw) : raw;
+}
+
+void
+ProgramSpecificPredictor::predictBatchFromFeatures(
+    const double *features, std::size_t count, double *out,
+    MlpBatchScratch &scratch) const
+{
+    ACDSE_CHECK(trained(), "predict before train");
+    mlp_.predictBatch(features, count, out, scratch);
+    if (options_.logTarget) {
+        for (std::size_t c = 0; c < count; ++c)
+            out[c] = std::exp(out[c]);
+    }
+}
+
+void
+ProgramSpecificPredictor::predictBlockSoaFromFeatures(
+    const double *soa, double *out, MlpBatchScratch &scratch) const
+{
+    ACDSE_DCHECK(trained(), "predict before train");
+    mlp_.predictBlockSoa(soa, out, scratch);
+    if (options_.logTarget) {
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+            out[l] = std::exp(out[l]);
+    }
 }
 
 } // namespace acdse

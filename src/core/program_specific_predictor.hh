@@ -65,6 +65,27 @@ class ProgramSpecificPredictor
     double predictFromFeatures(const std::vector<double> &features,
                                std::vector<double> &scratch) const;
 
+    /**
+     * Predict @p count points at once: point c occupies
+     * features[c * inputDim() .. (c+1) * inputDim()) row-major and its
+     * prediction lands in out[c]. Runs the vectorised Mlp::predictBatch
+     * kernel (plus the batched log-target inversion); out[c] is
+     * bit-identical to predictFromFeatures on point c at any count.
+     */
+    void predictBatchFromFeatures(const double *features,
+                                  std::size_t count, double *out,
+                                  MlpBatchScratch &scratch) const;
+
+    /**
+     * Predict one full simd::kLanes-wide block already transposed to
+     * feature-major layout (see Mlp::predictBlockSoa); out receives
+     * kLanes predictions, bit-identical to predictFromFeatures per
+     * lane. The ensemble transposes each block once and hands it to
+     * every member through this entry point.
+     */
+    void predictBlockSoaFromFeatures(const double *soa, double *out,
+                                     MlpBatchScratch &scratch) const;
+
     /** Whether train() has been called. */
     bool trained() const { return mlp_.trained(); }
 

@@ -93,4 +93,20 @@ LinearRegression::predict(const std::vector<double> &x) const
     return acc;
 }
 
+void
+LinearRegression::predictSoa(const double *__restrict xs,
+                             std::size_t lanes,
+                             double *__restrict out) const
+{
+    ACDSE_CHECK(fitted_, "predict before fit");
+    for (std::size_t l = 0; l < lanes; ++l)
+        out[l] = intercept_;
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+        const double w = weights_[j];
+        const double *x = xs + j * lanes;
+        for (std::size_t l = 0; l < lanes; ++l)
+            out[l] += w * x[l];
+    }
+}
+
 } // namespace acdse

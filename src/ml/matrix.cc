@@ -19,11 +19,13 @@ Matrix::multiply(const Matrix &other) const
     ACDSE_CHECK(cols_ == other.rows_, "multiply shape mismatch: ", rows_,
                 "x", cols_, " * ", other.rows_, "x", other.cols_);
     Matrix out(rows_, other.cols_);
+    // No zero-skip: the callers' matrices are dense (regression design
+    // matrices, gram systems), so a data-dependent branch per element
+    // only defeats vectorisation of the inner accumulation. For finite
+    // inputs the result is identical with or without the skip.
     for (std::size_t i = 0; i < rows_; ++i) {
         for (std::size_t k = 0; k < cols_; ++k) {
             const double a = (*this)(i, k);
-            if (a == 0.0)
-                continue;
             for (std::size_t j = 0; j < other.cols_; ++j)
                 out(i, j) += a * other(k, j);
         }
@@ -45,11 +47,10 @@ Matrix
 Matrix::gram() const
 {
     Matrix out(cols_, cols_);
+    // Dense accumulation, no zero-skip -- see multiply().
     for (std::size_t r = 0; r < rows_; ++r) {
         for (std::size_t i = 0; i < cols_; ++i) {
             const double a = (*this)(r, i);
-            if (a == 0.0)
-                continue;
             for (std::size_t j = i; j < cols_; ++j)
                 out(i, j) += a * (*this)(r, j);
         }

@@ -44,13 +44,20 @@ class Matrix
         return data_[r * cols_ + c];
     }
 
-    /** Matrix product this * other. */
+    /**
+     * Matrix product this * other. Tuned for the dense matrices the
+     * predictors build (no sparsity shortcuts; the inner loop
+     * vectorises).
+     */
     Matrix multiply(const Matrix &other) const;
 
     /** Transposed copy. */
     Matrix transposed() const;
 
-    /** A^T * A (m x m for an n x m matrix), computed without the copy. */
+    /**
+     * A^T * A (m x m for an n x m matrix), computed without the copy.
+     * Dense, like multiply().
+     */
     Matrix gram() const;
 
     /** A^T * y for a length-rows vector. */

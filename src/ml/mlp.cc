@@ -9,9 +9,33 @@
 #include "base/fast_math.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "base/simd.hh"
 
 namespace acdse
 {
+
+namespace
+{
+
+// The one activation function, shared by the scalar and batched
+// forward passes so they are bit-identical by construction. fastTanh
+// keeps the serving hot path off libm's ~20 ns tanh; its ~5e-9
+// absolute error is far below the network's own fit error, and
+// training uses the same activation so the model is consistent with
+// its own inference. Note the numerics differ from a pure-libm build
+// (error amplified over training epochs); configure with
+// -DACDSE_FAST_TANH=OFF to stay on std::tanh exactly.
+inline double
+activation(double x)
+{
+#ifdef ACDSE_NO_FAST_TANH
+    return std::tanh(x);
+#else
+    return fastTanh(x);
+#endif
+}
+
+} // namespace
 
 Mlp::Mlp(MlpOptions options) : options_(options)
 {
@@ -129,23 +153,145 @@ Mlp::forwardScaled(const std::vector<double> &xz,
         double acc = row[inputDim_]; // hidden bias
         for (std::size_t i = 0; i < inputDim_; ++i)
             acc += row[i] * xz[i];
-        // fastTanh keeps the serving hot path off libm's ~20 ns tanh;
-        // its ~5e-9 absolute error is far below the network's own fit
-        // error, and training uses the same activation so the model is
-        // consistent with its own inference. Note the numerics differ
-        // from a pure-libm build (error amplified over training
-        // epochs); configure with -DACDSE_FAST_TANH=OFF to stay on
-        // std::tanh exactly.
-#ifdef ACDSE_NO_FAST_TANH
-        const double activation = std::tanh(acc);
-#else
-        const double activation = fastTanh(acc);
-#endif
+        const double act = activation(acc);
         if (hidden)
-            (*hidden)[j] = activation;
-        out += outputWeights_[j] * activation;
+            (*hidden)[j] = act;
+        out += outputWeights_[j] * act;
     }
     return out;
+}
+
+namespace
+{
+
+// The block kernel is a free function over __restrict-qualified raw
+// pointers (accessed through `this`, the weight vectors defeat alias
+// analysis), accumulating in local chunk variables so the accumulators
+// live in registers across the whole dot product. Each chunk op is
+// element-wise IEEE arithmetic -- the same operations, in the same
+// order, as forwardScaled performs per point.
+#ifdef ACDSE_SIMD_VECTOR
+
+void
+forwardBlockKernel(const double *__restrict hidden_weights,
+                   const double *__restrict output_weights,
+                   std::size_t h, std::size_t d,
+                   const double *__restrict block, double *__restrict out)
+{
+    using simd::Chunk;
+    constexpr std::size_t kC = simd::kChunks;
+    constexpr std::size_t kW = simd::kChunkLanes;
+    Chunk o[kC];
+    const Chunk ob = simd::chunkBroadcast(output_weights[h]);
+    for (std::size_t c = 0; c < kC; ++c)
+        o[c] = ob; // output bias
+    for (std::size_t j = 0; j < h; ++j) {
+        const double *__restrict row = hidden_weights + j * (d + 1);
+        Chunk a[kC];
+        const Chunk hb = simd::chunkBroadcast(row[d]);
+        for (std::size_t c = 0; c < kC; ++c)
+            a[c] = hb; // hidden bias
+        for (std::size_t i = 0; i < d; ++i) {
+            const Chunk w = simd::chunkBroadcast(row[i]);
+            const double *x = block + i * simd::kLanes;
+            for (std::size_t c = 0; c < kC; ++c)
+                a[c] += simd::chunkLoad(x + c * kW) * w;
+        }
+        for (std::size_t c = 0; c < kC; ++c) {
+#ifdef ACDSE_NO_FAST_TANH
+            double act[kW];
+            simd::chunkStore(act, a[c]);
+            for (std::size_t l = 0; l < kW; ++l)
+                act[l] = activation(act[l]);
+            a[c] = simd::chunkLoad(act);
+#else
+            a[c] = fastTanhChunk(a[c]);
+#endif
+        }
+        const Chunk wo = simd::chunkBroadcast(output_weights[j]);
+        for (std::size_t c = 0; c < kC; ++c)
+            o[c] += a[c] * wo;
+    }
+    for (std::size_t c = 0; c < kC; ++c)
+        simd::chunkStore(out + c * kW, o[c]);
+}
+
+#else // scalar-shaped fallback (ACDSE_NO_SIMD or unknown compiler)
+
+void
+forwardBlockKernel(const double *__restrict hidden_weights,
+                   const double *__restrict output_weights,
+                   std::size_t h, std::size_t d,
+                   const double *__restrict block, double *__restrict out)
+{
+    double o[simd::kLanes];
+    double a[simd::kLanes];
+    for (std::size_t l = 0; l < simd::kLanes; ++l)
+        o[l] = output_weights[h]; // output bias
+    for (std::size_t j = 0; j < h; ++j) {
+        const double *__restrict row = hidden_weights + j * (d + 1);
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+            a[l] = row[d]; // hidden bias
+        for (std::size_t i = 0; i < d; ++i)
+            for (std::size_t l = 0; l < simd::kLanes; ++l)
+                a[l] += block[i * simd::kLanes + l] * row[i];
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+            a[l] = activation(a[l]);
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+            o[l] += a[l] * output_weights[j];
+    }
+    for (std::size_t l = 0; l < simd::kLanes; ++l)
+        out[l] = o[l];
+}
+
+#endif
+
+} // namespace
+
+void
+Mlp::forwardBlock(const double *__restrict block,
+                  double *__restrict out) const
+{
+    // One point per lane: lane l's operation sequence is exactly
+    // forwardScaled on point l -- bias, then features in ascending
+    // order, activation, then output terms in ascending neuron order
+    // -- so each lane reproduces the scalar result bit for bit.
+    forwardBlockKernel(hiddenWeights_.data(), outputWeights_.data(),
+                       static_cast<std::size_t>(options_.hiddenNeurons),
+                       inputDim_, block, out);
+}
+
+void
+Mlp::predictBlockSoa(const double *soa, double *out,
+                     MlpBatchScratch &scratch) const
+{
+    ACDSE_DCHECK(trained_, "predict before train");
+    scratch.block.resize(inputDim_ * simd::kLanes);
+    inputScaler_.transformBlock(soa, scratch.block.data());
+    forwardBlock(scratch.block.data(), out);
+    targetScaler_.unscaleBatch(out, simd::kLanes);
+}
+
+void
+Mlp::predictBatch(const double *xs, std::size_t count, double *out,
+                  MlpBatchScratch &scratch) const
+{
+    ACDSE_CHECK(trained_, "predict before train");
+    constexpr std::size_t lanes = simd::kLanes;
+    const std::size_t d = inputDim_;
+    const std::size_t full = count - count % lanes;
+
+    scratch.soa.resize(d * lanes);
+    for (std::size_t base = 0; base < full; base += lanes) {
+        simd::transposeBlock(xs + base * d, d, scratch.soa.data());
+        predictBlockSoa(scratch.soa.data(), out + base, scratch);
+    }
+    // Remainder lanes take the scalar path -- the same arithmetic, so
+    // the batch is uniform regardless of where the block edge falls.
+    for (std::size_t c = full; c < count; ++c) {
+        scratch.point.assign(xs + c * d, xs + (c + 1) * d);
+        out[c] = predict(scratch.point, scratch.scaled);
+    }
 }
 
 void

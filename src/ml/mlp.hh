@@ -34,6 +34,19 @@ struct MlpOptions
 };
 
 /**
+ * Reusable buffers for Mlp::predictBatch. One instance per predicting
+ * thread keeps the batch hot path free of heap allocations after the
+ * first block.
+ */
+struct MlpBatchScratch
+{
+    std::vector<double> block; //!< feature-major scaled SoA block
+    std::vector<double> soa;   //!< feature-major raw transposed block
+    std::vector<double> point; //!< remainder-path feature-row copy
+    std::vector<double> scaled; //!< remainder-path scaled input
+};
+
+/**
  * One-hidden-layer regression MLP: y = w_o . tanh(W_h [x;1]) + b_o
  * (paper equation (2)). Inputs and the target are z-scored internally.
  */
@@ -66,6 +79,32 @@ class Mlp
     double predict(const std::vector<double> &x,
                    std::vector<double> &scratch) const;
 
+    /**
+     * Predict @p count samples at once: point c occupies
+     * xs[c * inputDim() .. (c+1) * inputDim()) row-major, and its
+     * prediction lands in out[c]. Full simd::kLanes-wide blocks run
+     * through the vectorised lane kernels (one amortised scaler
+     * transform per block, batched activations); remainder points take
+     * the scalar predict() path. Every lane performs the scalar path's
+     * exact operation sequence, so out[c] == predict(point c) bit for
+     * bit at any batch size -- enforced by tests/test_batch_predict.cc.
+     * Thread-safe on a trained network, like predict().
+     */
+    void predictBatch(const double *xs, std::size_t count, double *out,
+                      MlpBatchScratch &scratch) const;
+
+    /**
+     * Predict one full block of simd::kLanes points already transposed
+     * to feature-major layout (soa[i * kLanes + l] = raw feature i of
+     * point l, see simd::transposeBlock); out receives kLanes
+     * predictions. This is the ensemble hot path: the caller
+     * transposes each block once and every member model consumes it
+     * directly, instead of each model re-gathering the same strided
+     * rows. Bit-identical to predict() per lane, like predictBatch.
+     */
+    void predictBlockSoa(const double *soa, double *out,
+                         MlpBatchScratch &scratch) const;
+
     /** Whether train() has been called. */
     bool trained() const { return trained_; }
 
@@ -92,6 +131,15 @@ class Mlp
      */
     double forwardScaled(const std::vector<double> &xz,
                          std::vector<double> *hidden = nullptr) const;
+
+    /**
+     * Forward pass on one simd::kLanes-wide feature-major block of
+     * already-scaled inputs; writes the (still target-scaled) network
+     * outputs for all lanes to @p out. The buffers must not overlap
+     * (__restrict: lets the lane loops vectorise).
+     */
+    void forwardBlock(const double *__restrict block,
+                      double *__restrict out) const;
 
     /** One full SGD run on scaled data at the given learning rate. */
     void trainScaled(const std::vector<std::vector<double>> &xz,

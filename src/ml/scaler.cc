@@ -5,6 +5,7 @@
 #include "base/binary_io.hh"
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "base/statistics.hh"
 
 namespace acdse
@@ -33,6 +34,15 @@ StandardScaler::fit(const std::vector<std::vector<double>> &samples)
             std::sqrt(var[i] / static_cast<double>(samples.size()));
         scales_[i] = sd > 1e-12 ? sd : 1.0;
     }
+    computeInverses();
+}
+
+void
+StandardScaler::computeInverses()
+{
+    invScales_.resize(scales_.size());
+    for (std::size_t i = 0; i < scales_.size(); ++i)
+        invScales_[i] = 1.0 / scales_[i];
 }
 
 std::vector<double>
@@ -50,7 +60,45 @@ StandardScaler::transformInto(const std::vector<double> &x,
     ACDSE_CHECK(x.size() == means_.size(), "dimension mismatch");
     out.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i)
-        out[i] = (x[i] - means_[i]) / scales_[i];
+        out[i] = (x[i] - means_[i]) * invScales_[i];
+}
+
+void
+StandardScaler::transformBatch(const double *__restrict xs,
+                               std::size_t lanes,
+                               double *__restrict zs) const
+{
+    const std::size_t d = means_.size();
+    for (std::size_t i = 0; i < d; ++i) {
+        const double mean = means_[i];
+        const double inv = invScales_[i];
+        double *z = zs + i * lanes;
+        for (std::size_t l = 0; l < lanes; ++l)
+            z[l] = (xs[l * d + i] - mean) * inv;
+    }
+}
+
+void
+StandardScaler::transformBlock(const double *__restrict xs,
+                               double *__restrict zs) const
+{
+    const std::size_t d = means_.size();
+    for (std::size_t i = 0; i < d; ++i) {
+        const double *x = xs + i * simd::kLanes;
+        double *z = zs + i * simd::kLanes;
+#ifdef ACDSE_SIMD_VECTOR
+        const simd::Chunk mean = simd::chunkBroadcast(means_[i]);
+        const simd::Chunk inv = simd::chunkBroadcast(invScales_[i]);
+        for (std::size_t c = 0; c < simd::kChunks; ++c) {
+            const std::size_t at = c * simd::kChunkLanes;
+            simd::chunkStore(
+                z + at, (simd::chunkLoad(x + at) - mean) * inv);
+        }
+#else
+        for (std::size_t l = 0; l < simd::kLanes; ++l)
+            z[l] = (x[l] - means_[i]) * invScales_[i];
+#endif
+    }
 }
 
 void
@@ -67,6 +115,7 @@ StandardScaler::load(BinaryReader &r)
     scales_ = r.f64vec();
     if (scales_.size() != means_.size())
         throw SerializationError("scaler mean/scale arity mismatch");
+    computeInverses();
 }
 
 void

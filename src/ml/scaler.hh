@@ -32,6 +32,31 @@ class StandardScaler
     void transformInto(const std::vector<double> &x,
                        std::vector<double> &out) const;
 
+    /**
+     * Transform @p lanes row-major points (point l starts at
+     * xs + l * dims()) into a feature-major block:
+     * zs[i * lanes + l] = scaled feature i of point l. One mean/scale
+     * load serves the whole block -- the amortisation the batched
+     * predict kernels are built on -- and the per-element arithmetic
+     * is identical to transformInto, so each lane is bit-identical to
+     * the scalar transform of that point. @p xs and @p zs must not
+     * overlap (__restrict: lets the lane loop vectorise).
+     */
+    void transformBatch(const double *__restrict xs, std::size_t lanes,
+                        double *__restrict zs) const;
+
+    /**
+     * Transform one already-transposed feature-major block of
+     * simd::kLanes points: zs[i * kLanes + l] = scaled feature i of
+     * point l, from xs in the same layout. The per-element arithmetic
+     * is identical to transformInto -- this is transformBatch with the
+     * strided gather hoisted out (see simd::transposeBlock), so an
+     * ensemble transposes each block once instead of per model. @p xs
+     * and @p zs must not overlap.
+     */
+    void transformBlock(const double *__restrict xs,
+                        double *__restrict zs) const;
+
     /** Whether fit() has been called. */
     bool fitted() const { return !means_.empty(); }
 
@@ -45,8 +70,17 @@ class StandardScaler
     void load(BinaryReader &r);
 
   private:
+    /** Rebuild invScales_ from scales_ (after fit or load). */
+    void computeInverses();
+
     std::vector<double> means_;
     std::vector<double> scales_;
+    // The transform multiplies by 1/scale instead of dividing: one
+    // divide per dimension at fit/load time replaces one per feature
+    // per prediction, and division is the most expensive arithmetic op
+    // on the serving path. Derived state -- never serialised, always
+    // recomputed from scales_, so save/load round-trips stay bit-exact.
+    std::vector<double> invScales_;
 };
 
 /** Scalar z-score scaler for prediction targets. */
@@ -61,6 +95,16 @@ class TargetScaler
 
     /** Invert the scaling on a model output. */
     double unscale(double z) const { return z * sdev_ + mean_; }
+
+    /**
+     * Invert the scaling on @p n model outputs in place; element-wise
+     * identical to unscale().
+     */
+    void unscaleBatch(double *zs, std::size_t n) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            zs[i] = zs[i] * sdev_ + mean_;
+    }
 
     /** Serialise the fitted state (bit-exact round trip). */
     void save(BinaryWriter &w) const;

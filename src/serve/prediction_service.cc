@@ -61,19 +61,26 @@ PredictionService::computeRange(
     std::vector<PredictionRow> &rows, std::size_t begin,
     std::size_t end) const
 {
-    // Build each query's feature vector once and share it across all
-    // served metrics; the scratch buffers persist across the whole
-    // range (one chunk on the pooled path), so the per-point work is
-    // pure arithmetic.
-    PredictScratch scratch;
-    for (std::size_t i = begin; i < end; ++i) {
-        PredictionRow &row = rows[i];
-        row.values.fill(std::numeric_limits<double>::quiet_NaN());
-        const std::vector<double> features = queries[i].asFeatureVector();
-        for (const auto &entry : artifact_.entries()) {
-            row.values[static_cast<std::size_t>(entry.metric)] =
-                entry.predictor.predictFromFeatures(features, scratch);
-        }
+    // Assemble the chunk's feature matrix once (row-major, one row per
+    // query) and run each metric's ensemble through its vectorised
+    // batch kernel over the whole chunk, then scatter the contiguous
+    // per-metric outputs into the rows. Bit-identical to the former
+    // per-point predictFromFeatures loop at any chunk/thread count.
+    const std::size_t n = end - begin;
+    std::vector<double> features(n * kNumParams);
+    std::vector<double> out(n);
+    BatchPredictScratch scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+        queries[begin + i].featuresInto(&features[i * kNumParams]);
+        rows[begin + i].values.fill(
+            std::numeric_limits<double>::quiet_NaN());
+    }
+    for (const auto &entry : artifact_.entries()) {
+        entry.predictor.predictBatchFromFeatures(features.data(), n,
+                                                 out.data(), scratch);
+        const auto metric = static_cast<std::size_t>(entry.metric);
+        for (std::size_t i = 0; i < n; ++i)
+            rows[begin + i].values[metric] = out[i];
     }
 }
 

@@ -10,7 +10,11 @@
  * the trained ANN ensemble -- microseconds per point -- so the service
  * splits each batch into fixed-size chunks and parallelFor()s them:
  * every chunk writes a disjoint slice of the result vector, which is
- * both lock-free and bit-deterministic at any thread count.
+ * both lock-free and bit-deterministic at any thread count. Within a
+ * chunk each metric's ensemble runs its vectorised batch kernel
+ * (ArchitectureCentricPredictor::predictBatchFromFeatures) over all
+ * chunk points at once -- one point per SIMD lane -- which is where
+ * the per-point arithmetic cost actually drops.
  *
  * Per-batch latency and lifetime throughput counters are kept so a
  * deployment can watch the serving path (see ServiceStats and

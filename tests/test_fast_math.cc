@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "base/fast_math.hh"
+#include "base/simd.hh"
 
 using namespace acdse;
 
@@ -45,13 +47,46 @@ TEST(FastMath, EdgeCases)
         fastTanh(std::numeric_limits<double>::quiet_NaN())));
 }
 
+#ifdef ACDSE_SIMD_VECTOR
+TEST(FastMath, ChunkMatchesScalarBitExactly)
+{
+    // The packed fastTanhChunk must return, in each lane, the exact
+    // bits of scalar fastTanh on that lane -- including the off-table
+    // fallback (|x| >= 4), saturation, infinities and NaN, and chunks
+    // mixing on- and off-table lanes (which take the fallback whole).
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> pts;
+    for (int i = -600; i <= 600; ++i)
+        pts.push_back(static_cast<double>(i) * 0.01); // [-6, 6]
+    pts.insert(pts.end(),
+               {0.0, -0.0, 3.999999, 4.0, -4.0, 25.0, -25.0, inf, -inf,
+                nan, 1e-300, -1e-300});
+    constexpr std::size_t n = simd::kChunkLanes;
+    for (std::size_t s = 0; s + n <= pts.size(); ++s) {
+        alignas(16) double in[n];
+        alignas(16) double out[n];
+        for (std::size_t l = 0; l < n; ++l)
+            in[l] = pts[s + l];
+        simd::chunkStore(out, fastTanhChunk(simd::chunkLoad(in)));
+        for (std::size_t l = 0; l < n; ++l) {
+            const double want = fastTanh(in[l]);
+            if (std::isnan(want))
+                EXPECT_TRUE(std::isnan(out[l])) << "lane " << in[l];
+            else
+                EXPECT_EQ(out[l], want) << "lane " << in[l];
+        }
+    }
+}
+#endif // ACDSE_SIMD_VECTOR
+
 TEST(FastMath, ContinuousAcrossTableBoundaries)
 {
     // The interpolant matches values and derivatives at every node, so
-    // crossing a segment boundary (and the 5.0 hand-off to the exp
+    // crossing a segment boundary (and the 4.0 hand-off to the exp
     // tail) must not jump.
     for (int k = 1; k <= 256; ++k) {
-        const double node = static_cast<double>(k) * (5.0 / 256.0);
+        const double node = static_cast<double>(k) * (4.0 / 256.0);
         const double below = std::nextafter(node, 0.0);
         EXPECT_NEAR(fastTanh(below), fastTanh(node), 1e-8);
     }

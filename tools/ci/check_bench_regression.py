@@ -4,7 +4,8 @@ more than ``tolerance`` below its checked-in baseline floor.
 
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
-        [--train BENCH_train.json] [--serve BENCH_serve.json]
+        [--train BENCH_train.json] [--serve BENCH_serve.json] \
+        [--predict-batch BENCH_predict_batch.json]
 
 ``bench/baseline.json`` holds conservative *floors*, not point
 measurements::
@@ -88,6 +89,8 @@ def main():
     parser.add_argument("--baseline", default="bench/baseline.json")
     parser.add_argument("--train", default="BENCH_train.json")
     parser.add_argument("--serve", default="BENCH_serve.json")
+    parser.add_argument("--predict-batch",
+                        default="BENCH_predict_batch.json")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -99,6 +102,8 @@ def main():
                             rows)
     failures += check_bench("serve", baseline, args.serve, tolerance,
                             rows)
+    failures += check_bench("predict_batch", baseline,
+                            args.predict_batch, tolerance, rows)
 
     header = ("metric", "baseline floor", "measured", "status")
     widths = [max(len(str(row[i])) for row in rows + [header])
