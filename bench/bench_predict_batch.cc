@@ -36,6 +36,7 @@
 #include "base/parse.hh"
 #include "base/thread_pool.hh"
 #include "core/architecture_centric_predictor.hh"
+#include "obs/stats_export.hh"
 
 using namespace acdse;
 
@@ -161,6 +162,8 @@ main()
     const std::size_t num_models =
         envSize("ACDSE_PREDICT_BENCH_MODELS", 8);
     const std::size_t hw = std::thread::hardware_concurrency();
+    const obs::Snapshot obs_before =
+        obs::Registry::global().snapshot();
 
     std::printf("building synthetic %zu-ANN ensemble...\n", num_models);
     const ArchitectureCentricPredictor predictor =
@@ -214,8 +217,14 @@ main()
         .key("predict_batch_pps_t1").value(batch_t1)
         .key("predict_batch_speedup_t1").value(speedup_t1)
         .key("predict_batch_pps_tmax").value(batch_tmax)
-        .endObject()
         .endObject();
+    // Additive per-stage breakdown (train/ setup and pool/ counters);
+    // the regression checker only reads "metrics".
+    json.key("stages");
+    obs::writeStagesJson(
+        json,
+        obs::diff(obs_before, obs::Registry::global().snapshot()));
+    json.endObject();
     writeTextAtomic(out, json.str());
     std::printf("\nwrote %s\n", out.c_str());
 

@@ -36,6 +36,7 @@
 #include "base/thread_pool.hh"
 #include "core/evaluation.hh"
 #include "ml/matrix.hh"
+#include "obs/stats_export.hh"
 
 using namespace acdse;
 
@@ -175,6 +176,8 @@ main()
 
     std::printf("computing %zu-program campaign (cache: %s)...\n",
                 programs.size(), options.cacheDir.c_str());
+    const obs::Snapshot obs_before =
+        obs::Registry::global().snapshot();
     Campaign campaign(programs, options);
     campaign.ensureComputed();
 
@@ -239,8 +242,14 @@ main()
         .key("loo_folds_per_s_tmax").value(loo_tmax)
         .key("loo_speedup_tmax_over_t1").value(speedup)
         .key("matmul_iters_per_s").value(matmul)
-        .endObject()
         .endObject();
+    // Additive per-stage breakdown (campaign/train/sweep/pool) over
+    // the whole run; the regression checker only reads "metrics".
+    json.key("stages");
+    obs::writeStagesJson(
+        json,
+        obs::diff(obs_before, obs::Registry::global().snapshot()));
+    json.endObject();
     writeTextAtomic(out, json.str());
     std::printf("wrote %s\n", out.c_str());
 

@@ -6,6 +6,7 @@
 
 #include "base/check.hh"
 #include "base/parse.hh"
+#include "obs/metrics.hh"
 
 namespace acdse
 {
@@ -17,6 +18,38 @@ namespace
 // to detect nesting and degrade to an inline loop instead of blocking
 // a worker on other workers (which can deadlock a pool of one).
 thread_local bool tl_pool_worker = false;
+
+/**
+ * The pool's metrics, shared by every ThreadPool instance. References
+ * into the leaked global registry, so workers of static pools can
+ * still record during process teardown.
+ */
+struct PoolMetrics
+{
+    obs::Counter &tasksRun;
+    obs::Gauge &queueDepth;
+    obs::Histogram &queueWaitNs;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics{
+        obs::Registry::global().counter("pool/tasks-run"),
+        obs::Registry::global().gauge("pool/queue-depth"),
+        obs::Registry::global().histogram("pool/queue-wait-ns")};
+    return metrics;
+}
+
+/** Enqueue timestamp; 0 (and no clock read) when obs is off. */
+std::uint64_t
+stampNs()
+{
+    if constexpr (obs::kEnabled)
+        return obs::nowNs();
+    else
+        return 0;
+}
 
 } // namespace
 
@@ -100,7 +133,9 @@ ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(Task{std::move(task), stampNs()});
+        poolMetrics().queueDepth.set(
+            static_cast<std::int64_t>(queue_.size()));
     }
     workCv_.notify_one();
 }
@@ -110,7 +145,7 @@ ThreadPool::workerLoop()
 {
     tl_pool_worker = true;
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             workCv_.wait(lock,
@@ -119,8 +154,16 @@ ThreadPool::workerLoop()
                 return; // stop_ set and nothing left: drained teardown
             task = std::move(queue_.front());
             queue_.pop_front();
+            poolMetrics().queueDepth.set(
+                static_cast<std::int64_t>(queue_.size()));
         }
-        task();
+        if constexpr (obs::kEnabled) {
+            PoolMetrics &metrics = poolMetrics();
+            metrics.tasksRun.add(1);
+            metrics.queueWaitNs.record(obs::nowNs() -
+                                       task.enqueuedNs);
+        }
+        task.fn();
     }
 }
 
@@ -185,9 +228,12 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     const std::size_t blocks = (total + grain - 1) / grain;
     const std::size_t helpers = std::min(workers_.size(), blocks);
     {
+        const std::uint64_t stamp = stampNs();
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t h = 0; h < helpers; ++h)
-            queue_.push_back([job] { drain(*job); });
+            queue_.push_back(Task{[job] { drain(*job); }, stamp});
+        poolMetrics().queueDepth.set(
+            static_cast<std::int64_t>(queue_.size()));
     }
     workCv_.notify_all();
 

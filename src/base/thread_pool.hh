@@ -44,6 +44,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -134,6 +135,17 @@ class ThreadPool
   private:
     struct ForJob;
 
+    /**
+     * One queued unit of work. The enqueue timestamp feeds the
+     * pool/queue-wait-ns histogram (src/obs); it is 0 when
+     * observability is compiled out.
+     */
+    struct Task
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueuedNs = 0;
+    };
+
     /** Push one type-erased task and wake a worker. */
     void enqueue(std::function<void()> task);
 
@@ -146,7 +158,7 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable workCv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     bool stop_ = false;
 };
 

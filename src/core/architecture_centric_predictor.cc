@@ -6,6 +6,7 @@
 #include "base/simd.hh"
 #include "base/statistics.hh"
 #include "base/thread_pool.hh"
+#include "obs/trace_span.hh"
 
 namespace acdse
 {
@@ -26,10 +27,20 @@ ArchitectureCentricPredictor::trainOffline(
     // Every model trains from its own options (weight-init RNG seeded
     // per model) into its own slot, so the parallel result is
     // bit-identical to the serial one.
+    const obs::TraceSpan offlineSpan(obs::Registry::global(),
+                                     "train/offline");
+    // Intern the per-program stages before fanning out so the worker
+    // lambdas only touch already-registered (wait-free) stages.
+    std::vector<obs::Stage *> stages(trainingSets.size());
+    for (std::size_t i = 0; i < trainingSets.size(); ++i) {
+        stages[i] = &obs::Registry::global().stage(
+            "train/program/" + std::to_string(i));
+    }
     std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models(
         trainingSets.size());
     ThreadPool::global().parallelFor(
         0, trainingSets.size(), [&](std::size_t i) {
+            const obs::TraceSpan span(*stages[i]);
             auto model = std::make_shared<ProgramSpecificPredictor>(
                 options_.programModel);
             model->train(trainingSets[i].configs,
@@ -69,6 +80,8 @@ ArchitectureCentricPredictor::fitResponses(
     ACDSE_CHECK(configs.size() == values.size(),
                  "configs/values size mismatch");
     ACDSE_CHECK(!configs.empty(), "need at least one response");
+    const obs::TraceSpan span(obs::Registry::global(),
+                              "fit/responses");
 
     // Feature assembly is one ensemble forward pass per (response,
     // model) pair -- the expensive part of the fit. Each model runs

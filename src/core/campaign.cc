@@ -13,6 +13,7 @@
 #include "base/logging.hh"
 #include "base/parse.hh"
 #include "base/thread_pool.hh"
+#include "obs/trace_span.hh"
 #include "sim/simulator.hh"
 #include "trace/suites.hh"
 #include "trace/trace_generator.hh"
@@ -240,6 +241,10 @@ Campaign::ensureComputed()
         pool = pinned.get();
     }
 
+    const obs::TraceSpan span(obs::Registry::global(),
+                              "campaign/fill");
+    obs::Registry::global().counter("campaign/sims-run")
+        .add(pending.size());
     std::atomic<std::size_t> done{0};
     pool->parallelFor(0, pending.size(), [&](std::size_t slot) {
         SimulationOptions sim_options;

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/thread_pool.hh"
+#include "obs/trace_span.hh"
 
 namespace acdse
 {
@@ -295,7 +296,10 @@ Evaluator::evaluateProgramSpecificSweep(
     std::size_t numSims, std::uint64_t seed)
 {
     std::vector<PredictionQuality> results(programs.size());
+    obs::Stage &blockStage =
+        obs::Registry::global().stage("sweep/block");
     pool().parallelFor(0, programs.size(), [&](std::size_t i) {
+        const obs::TraceSpan span(blockStage);
         results[i] = evaluateProgramSpecific(programs[i], metric,
                                              numSims, seed);
     });
@@ -315,7 +319,10 @@ Evaluator::evaluateArchCentricSweep(
     warmProgramModels(poolPrograms, metric, t, seed);
 
     std::vector<PredictionQuality> results(testPrograms.size());
+    obs::Stage &blockStage =
+        obs::Registry::global().stage("sweep/block");
     pool().parallelFor(0, testPrograms.size(), [&](std::size_t i) {
+        const obs::TraceSpan span(blockStage);
         const std::size_t p = testPrograms[i];
         std::vector<std::size_t> training;
         training.reserve(poolPrograms.size());

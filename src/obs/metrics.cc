@@ -1,0 +1,350 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "base/check.hh"
+
+namespace acdse::obs
+{
+
+std::size_t
+shardIndex() noexcept
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx & (kShards - 1);
+}
+
+std::uint64_t
+nowNs() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+Counter::value() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const Slot &slot : slots_)
+        total += slot.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset() noexcept
+{
+    for (Slot &slot : slots_)
+        slot.value.store(0, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Relaxed atomic min/max folds for the histogram extrema. */
+void
+atomicMin(std::atomic<std::uint64_t> &target, std::uint64_t value)
+{
+    std::uint64_t seen = target.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !target.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &target, std::uint64_t value)
+{
+    std::uint64_t seen = target.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !target.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+Histogram::recordSlow(std::uint64_t value) noexcept
+{
+    Shard &shard = shards_[shardIndex()];
+    shard.buckets[bucketOf(value)].fetch_add(1,
+                                             std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    atomicMin(shard.min, value);
+    atomicMax(shard.max, value);
+}
+
+HistogramSnapshot
+Histogram::read() const noexcept
+{
+    HistogramSnapshot out;
+    std::uint64_t min = ~std::uint64_t{0};
+    for (const Shard &shard : shards_) {
+        out.count += shard.count.load(std::memory_order_relaxed);
+        out.sum += shard.sum.load(std::memory_order_relaxed);
+        min = std::min(min, shard.min.load(std::memory_order_relaxed));
+        out.max = std::max(out.max,
+                           shard.max.load(std::memory_order_relaxed));
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            out.buckets[b] +=
+                shard.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    out.min = out.count ? min : 0;
+    return out;
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (Shard &shard : shards_) {
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+        shard.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+        shard.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Stage::reset() noexcept
+{
+    spans_.reset();
+    totalNs_.reset();
+    childNs_.reset();
+    spanNs_.reset();
+}
+
+void
+Snapshot::merge(const Snapshot &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.gauges)
+        gauges[name] = value;
+    for (const auto &[name, hist] : other.histograms) {
+        HistogramSnapshot &mine = histograms[name];
+        const bool was_empty = mine.count == 0;
+        mine.count += hist.count;
+        mine.sum += hist.sum;
+        if (hist.count) {
+            mine.min = was_empty ? hist.min
+                                 : std::min(mine.min, hist.min);
+            mine.max = std::max(mine.max, hist.max);
+        }
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            mine.buckets[b] += hist.buckets[b];
+    }
+    for (const auto &[name, stage] : other.stages) {
+        StageSnapshot &mine = stages[name];
+        mine.count += stage.count;
+        mine.totalNs += stage.totalNs;
+        mine.childNs += stage.childNs;
+        const bool was_empty = mine.spans.count == 0;
+        mine.spans.count += stage.spans.count;
+        mine.spans.sum += stage.spans.sum;
+        if (stage.spans.count) {
+            mine.spans.min = was_empty
+                                 ? stage.spans.min
+                                 : std::min(mine.spans.min,
+                                            stage.spans.min);
+            mine.spans.max =
+                std::max(mine.spans.max, stage.spans.max);
+        }
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            mine.spans.buckets[b] += stage.spans.buckets[b];
+    }
+}
+
+namespace
+{
+
+HistogramSnapshot
+diffHistogram(const HistogramSnapshot *before,
+              const HistogramSnapshot &after)
+{
+    HistogramSnapshot out = after;
+    if (before) {
+        out.count -= before->count;
+        out.sum -= before->sum;
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            out.buckets[b] -= before->buckets[b];
+        // min/max stay 'after' lifetime extrema (see header).
+        if (out.count == 0) {
+            out.min = 0;
+            out.max = 0;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Snapshot
+diff(const Snapshot &before, const Snapshot &after)
+{
+    Snapshot out;
+    for (const auto &[name, value] : after.counters) {
+        const auto it = before.counters.find(name);
+        out.counters[name] =
+            value - (it == before.counters.end() ? 0 : it->second);
+    }
+    out.gauges = after.gauges;
+    for (const auto &[name, hist] : after.histograms) {
+        const auto it = before.histograms.find(name);
+        out.histograms[name] = diffHistogram(
+            it == before.histograms.end() ? nullptr : &it->second,
+            hist);
+    }
+    for (const auto &[name, stage] : after.stages) {
+        const auto it = before.stages.find(name);
+        StageSnapshot delta = stage;
+        if (it != before.stages.end()) {
+            delta.count -= it->second.count;
+            delta.totalNs -= it->second.totalNs;
+            delta.childNs -= it->second.childNs;
+            delta.spans =
+                diffHistogram(&it->second.spans, stage.spans);
+        }
+        out.stages[name] = delta;
+    }
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: see the file comment.
+    static Registry *registry = new Registry;
+    return *registry;
+}
+
+void
+Registry::checkUnique(std::string_view name, int kind) const
+{
+    // Caller holds mutex_ exclusively. Kind: 0 counter, 1 gauge,
+    // 2 histogram, 3 stage. A name must not be re-interned as a
+    // different kind.
+    ACDSE_CHECK(kind == 0 || !counters_.contains(name), "metric '",
+                std::string(name),
+                "' already registered as a counter");
+    ACDSE_CHECK(kind == 1 || !gauges_.contains(name), "metric '",
+                std::string(name), "' already registered as a gauge");
+    ACDSE_CHECK(kind == 2 || !histograms_.contains(name), "metric '",
+                std::string(name),
+                "' already registered as a histogram");
+    ACDSE_CHECK(kind == 3 || !stages_.contains(name), "metric '",
+                std::string(name), "' already registered as a stage");
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (const auto it = counters_.find(name);
+            it != counters_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    checkUnique(name, 0);
+    auto &slot = counters_[std::string(name)];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (const auto it = gauges_.find(name); it != gauges_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    checkUnique(name, 1);
+    auto &slot = gauges_[std::string(name)];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (const auto it = histograms_.find(name);
+            it != histograms_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    checkUnique(name, 2);
+    auto &slot = histograms_[std::string(name)];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Stage &
+Registry::stage(std::string_view path)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (const auto it = stages_.find(path); it != stages_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    checkUnique(path, 3);
+    auto &slot = stages_[std::string(path)];
+    if (!slot)
+        slot = std::make_unique<Stage>(std::string(path));
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    Snapshot out;
+    for (const auto &[name, counter] : counters_)
+        out.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        out.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms_)
+        out.histograms[name] = histogram->read();
+    for (const auto &[name, stage] : stages_) {
+        StageSnapshot snap;
+        snap.count = stage->spans().value();
+        snap.totalNs = stage->totalNs().value();
+        snap.childNs = stage->childNs().value();
+        snap.spans = stage->spanNs().read();
+        out.stages[name] = snap;
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[name, histogram] : histograms_)
+        histogram->reset();
+    for (const auto &[name, stage] : stages_)
+        stage->reset();
+}
+
+} // namespace acdse::obs

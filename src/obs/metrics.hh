@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The metrics registry: wait-free counters, gauges and log-bucketed
+ * histograms for watching where the framework's time and simulations
+ * go (see README "Observability").
+ *
+ * Design rules:
+ *
+ *  - Hot paths never block. Counter and Histogram shard their state
+ *    into cache-line-padded per-thread slots updated with relaxed
+ *    atomics; reads aggregate the shards. A reader racing writers sees
+ *    a momentarily inconsistent but monotone view, which is fine for
+ *    statistics and clean under TSan.
+ *
+ *  - Registration is cold. Registry::counter()/gauge()/histogram()/
+ *    stage() intern by name under a shared_mutex and return references
+ *    with stable addresses; instrumented code looks its metrics up
+ *    once (static reference, constructor) and then only touches the
+ *    wait-free primitives.
+ *
+ *  - ACDSE_OBS=OFF (-DACDSE_OBS_DISABLED) is the escape hatch: the
+ *    registry and the snapshot/export machinery stay compiled (tools
+ *    still emit schema-valid, all-zero stats) but every mutation --
+ *    Counter::add, Histogram::record, TraceSpan (obs/trace_span.hh) --
+ *    compiles to nothing, so instrumented hot loops carry no cost at
+ *    all. kEnabled lets tests and callers branch on the mode.
+ *
+ *  - The global registry is deliberately leaked (never destroyed):
+ *    worker threads of static thread pools may record metrics during
+ *    process teardown, after function-local statics with destructors
+ *    would already be gone.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace acdse::obs
+{
+
+#if defined(ACDSE_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/** Slots per sharded metric; power of two. */
+inline constexpr std::size_t kShards = 16;
+
+/** Histogram buckets: one per power of two of a uint64 (plus zero). */
+inline constexpr std::size_t kBuckets = 65;
+
+/** This thread's shard slot (assigned round-robin on first use). */
+std::size_t shardIndex() noexcept;
+
+/** Monotonic wall clock in nanoseconds (steady_clock). */
+std::uint64_t nowNs() noexcept;
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) noexcept
+    {
+        if constexpr (kEnabled) {
+            slots_[shardIndex()].value.fetch_add(
+                n, std::memory_order_relaxed);
+        } else {
+            (void)n;
+        }
+    }
+
+    /** Aggregate over all shards. */
+    std::uint64_t value() const noexcept;
+
+    /** Zero every shard (not atomic with concurrent add()s). */
+    void reset() noexcept;
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    std::array<Slot, kShards> slots_{};
+};
+
+/** A signed instantaneous value (queue depth, models resident, ...). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) noexcept
+    {
+        if constexpr (kEnabled)
+            value_.store(v, std::memory_order_relaxed);
+        else
+            (void)v;
+    }
+
+    void add(std::int64_t delta) noexcept
+    {
+        if constexpr (kEnabled)
+            value_.fetch_add(delta, std::memory_order_relaxed);
+        else
+            (void)delta;
+    }
+
+    std::int64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Aggregated read of one Histogram (or a diff of two reads). */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0; //!< 0 when count == 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/**
+ * A fixed log2-bucketed distribution of uint64 samples (durations in
+ * nanoseconds, batch sizes). Bucket b holds values in
+ * [bucketLow(b), bucketHigh(b)]: bucket 0 is exactly {0}, bucket b>0
+ * covers [2^(b-1), 2^b - 1].
+ */
+class Histogram
+{
+  public:
+    void record(std::uint64_t value) noexcept
+    {
+        if constexpr (kEnabled)
+            recordSlow(value);
+        else
+            (void)value;
+    }
+
+    HistogramSnapshot read() const noexcept;
+
+    void reset() noexcept;
+
+    /** Bucket index of a value: 0 for 0, else 1 + floor(log2 v). */
+    static std::size_t bucketOf(std::uint64_t value) noexcept
+    {
+        return static_cast<std::size_t>(std::bit_width(value));
+    }
+
+    /** Inclusive lower edge of bucket @p b. */
+    static std::uint64_t bucketLow(std::size_t b) noexcept
+    {
+        return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+    }
+
+    /** Inclusive upper edge of bucket @p b. */
+    static std::uint64_t bucketHigh(std::size_t b) noexcept
+    {
+        if (b == 0)
+            return 0;
+        if (b >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << b) - 1;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+        std::atomic<std::uint64_t> max{0};
+    };
+
+    void recordSlow(std::uint64_t value) noexcept;
+
+    std::array<Shard, kShards> shards_{};
+};
+
+/**
+ * One node of the stage tree: a named scope ("campaign/fill",
+ * "train/program/3") that TraceSpans attribute wall time to. childNs
+ * is the portion of totalNs spent inside nested spans *on the same
+ * thread*, so totalNs - childNs is the stage's self time.
+ */
+class Stage
+{
+  public:
+    explicit Stage(std::string path) : path_(std::move(path)) {}
+
+    const std::string &path() const { return path_; }
+
+    /** Fold one finished span in (called by ~TraceSpan). */
+    void record(std::uint64_t totalNs, std::uint64_t childNs) noexcept
+    {
+        spans_.add(1);
+        totalNs_.add(totalNs);
+        childNs_.add(childNs);
+        spanNs_.record(totalNs);
+    }
+
+    const Counter &spans() const { return spans_; }
+    const Counter &totalNs() const { return totalNs_; }
+    const Counter &childNs() const { return childNs_; }
+    const Histogram &spanNs() const { return spanNs_; }
+
+    void reset() noexcept;
+
+  private:
+    std::string path_;
+    Counter spans_;   //!< spans completed
+    Counter totalNs_; //!< summed inclusive wall time
+    Counter childNs_; //!< wall time attributed to same-thread children
+    Histogram spanNs_; //!< distribution of span durations
+};
+
+/** Aggregated read of one Stage (or a diff of two reads). */
+struct StageSnapshot
+{
+    std::uint64_t count = 0;   //!< spans completed
+    std::uint64_t totalNs = 0; //!< inclusive wall time
+    std::uint64_t childNs = 0; //!< of which inside same-thread children
+    HistogramSnapshot spans;   //!< span-duration distribution
+
+    double totalMs() const
+    {
+        return static_cast<double>(totalNs) / 1e6;
+    }
+
+    /** Exclusive (self) time: inclusive minus same-thread children. */
+    double selfMs() const
+    {
+        return static_cast<double>(totalNs - childNs) / 1e6;
+    }
+};
+
+/** A consistent-enough point-in-time read of a whole Registry. */
+struct Snapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, StageSnapshot> stages;
+
+    /**
+     * Fold @p other in: counters/histograms/stages with the same name
+     * add up, gauges take the other's value. Used to combine the
+     * global registry with a service's private one for export.
+     */
+    void merge(const Snapshot &other);
+};
+
+/**
+ * Interval between two snapshots of the same registry: counters,
+ * histogram counts/sums/buckets and stage times subtract; gauges keep
+ * the @p after value; histogram min/max keep the @p after values
+ * (extrema cannot be un-merged and stay lifetime extrema).
+ */
+Snapshot diff(const Snapshot &before, const Snapshot &after);
+
+/**
+ * A named collection of metrics. One leaked global() instance carries
+ * the library-wide stage tree and pool counters; subsystems that need
+ * isolated, resettable stats (PredictionService) own their own
+ * instance.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry (never destroyed; see file comment). */
+    static Registry &global();
+
+    /** Intern a metric by name; a name has exactly one kind. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+    Stage &stage(std::string_view path);
+
+    /** Aggregate everything registered so far. */
+    Snapshot snapshot() const;
+
+    /** Zero every registered metric (names stay interned). */
+    void reset();
+
+  private:
+    /** Panics if @p name is already interned with another kind. */
+    void checkUnique(std::string_view name, int kind) const;
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+    std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages_;
+};
+
+} // namespace acdse::obs

@@ -8,6 +8,8 @@
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "obs/stats_export.hh"
+#include "obs/trace_span.hh"
 
 namespace acdse
 {
@@ -30,8 +32,13 @@ ServeOptions::fromEnvironment()
 
 PredictionService::PredictionService(ModelArtifact artifact,
                                      ServeOptions options)
-    : artifact_(std::move(artifact)), options_(options),
-      pool_(options.threads)
+    : artifact_(std::move(artifact)), options_(std::move(options)),
+      pool_(options_.threads),
+      batchStage_(registry_.stage("serve/batch")),
+      chunkStage_(registry_.stage("serve/chunk")),
+      pointsServed_(registry_.counter("serve/points")),
+      batchPoints_(registry_.histogram("serve/batch-points")),
+      queueWaitNs_(registry_.histogram("serve/queue-wait-ns"))
 {
     ACDSE_CHECK(!artifact_.empty(),
                  "cannot serve an artifact with no predictors");
@@ -87,7 +94,7 @@ PredictionService::computeRange(
 std::vector<PredictionRow>
 PredictionService::predict(const std::vector<MicroarchConfig> &queries)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t start = obs::kEnabled ? obs::nowNs() : 0;
     std::vector<PredictionRow> rows(queries.size());
     if (queries.empty())
         return rows;
@@ -95,7 +102,13 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
     if (pool_.workers() == 0 || queries.size() <= options_.inlineBelow) {
         computeRange(queries, rows, 0, queries.size());
     } else {
+        // Time spent waiting for the batch mutex is the service's
+        // queueing latency: concurrent callers serialise here.
+        const std::uint64_t lockStart =
+            obs::kEnabled ? obs::nowNs() : 0;
         std::lock_guard<std::mutex> batch_lock(batchMutex_);
+        if constexpr (obs::kEnabled)
+            queueWaitNs_.record(obs::nowNs() - lockStart);
         const std::size_t num_chunks =
             (queries.size() + options_.chunk - 1) / options_.chunk;
         // Chunks write disjoint row ranges, so the batch result is
@@ -103,6 +116,7 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
         // the last chunk finished, so queries/rows never outlive the
         // workers touching them.
         pool_.parallelFor(0, num_chunks, [&](std::size_t chunk) {
+            const obs::TraceSpan chunkSpan(chunkStage_);
             const std::size_t begin = chunk * options_.chunk;
             const std::size_t end =
                 std::min(begin + options_.chunk, queries.size());
@@ -110,11 +124,8 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
         });
     }
 
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    recordBatch(queries.size(), elapsed_ms);
+    if constexpr (obs::kEnabled)
+        recordBatch(queries.size(), obs::nowNs() - start);
     return rows;
 }
 
@@ -125,31 +136,60 @@ PredictionService::predictOne(const MicroarchConfig &query)
 }
 
 void
-PredictionService::recordBatch(std::size_t points, double elapsed_ms)
+PredictionService::recordBatch(std::size_t points,
+                               std::uint64_t elapsedNs)
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    stats_.batches += 1;
-    stats_.points += points;
-    stats_.totalMs += elapsed_ms;
-    stats_.lastMs = elapsed_ms;
-    stats_.minMs = stats_.batches == 1
-                       ? elapsed_ms
-                       : std::min(stats_.minMs, elapsed_ms);
-    stats_.maxMs = std::max(stats_.maxMs, elapsed_ms);
+    // The batch ran partly on pool workers, so no same-thread child
+    // time can be attributed; record it directly on the stage.
+    batchStage_.record(elapsedNs, 0);
+    pointsServed_.add(points);
+    batchPoints_.record(points);
+    lastBatchNs_.store(elapsedNs, std::memory_order_relaxed);
+    if (options_.statsEveryBatches != 0 &&
+        !options_.statsPath.empty() &&
+        batchStage_.spans().value() % options_.statsEveryBatches == 0)
+        dumpStats();
 }
 
 ServiceStats
 PredictionService::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    return stats_;
+    // Derived from the registry: exact, because Counter sums and the
+    // histogram's min/max/sum fields are exact (only the bucket
+    // boundaries are log-scaled).
+    ServiceStats out;
+    out.batches = batchStage_.spans().value();
+    out.points = pointsServed_.value();
+    out.totalMs =
+        static_cast<double>(batchStage_.totalNs().value()) / 1e6;
+    out.lastMs = static_cast<double>(
+                     lastBatchNs_.load(std::memory_order_relaxed)) /
+                 1e6;
+    const obs::HistogramSnapshot spans = batchStage_.spanNs().read();
+    out.minMs = static_cast<double>(spans.min) / 1e6;
+    out.maxMs = static_cast<double>(spans.max) / 1e6;
+    return out;
 }
 
 void
 PredictionService::resetStats()
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    stats_ = ServiceStats{};
+    registry_.reset();
+    lastBatchNs_.store(0, std::memory_order_relaxed);
+}
+
+obs::Snapshot
+PredictionService::statsSnapshot() const
+{
+    return registry_.snapshot();
+}
+
+void
+PredictionService::dumpStats() const
+{
+    if (options_.statsPath.empty())
+        return;
+    obs::writeStatsFile(options_.statsPath, registry_.snapshot());
 }
 
 } // namespace acdse

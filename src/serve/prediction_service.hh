@@ -29,12 +29,15 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "arch/microarch_config.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "serve/model_store.hh"
 #include "sim/metrics.hh"
 
@@ -60,6 +63,16 @@ struct ServeOptions
      */
     std::size_t inlineBelow = 128;
 
+    /**
+     * When non-empty, the service dumps its metrics (acdse-stats-v1,
+     * see obs/stats_export.hh) to this path: every statsEveryBatches
+     * batches if that is non-zero, and on every dumpStats() call.
+     */
+    std::string statsPath;
+
+    /** Periodic dump cadence in batches; 0 disables periodic dumps. */
+    std::size_t statsEveryBatches = 0;
+
     /** Defaults with any ACDSE_SERVE_* environment overrides applied. */
     static ServeOptions fromEnvironment();
 };
@@ -77,7 +90,11 @@ struct PredictionRow
     }
 };
 
-/** Snapshot of the service's serving counters. */
+/**
+ * Snapshot of the service's serving counters, derived from the
+ * service's private metrics registry (src/obs). With ACDSE_OBS=OFF the
+ * instrumentation is compiled out and every field reads zero.
+ */
 struct ServiceStats
 {
     std::uint64_t batches = 0;  //!< batches served
@@ -155,14 +172,25 @@ class PredictionService
     /** Zero the serving counters (e.g. after a warm-up run). */
     void resetStats();
 
+    /**
+     * Full snapshot of the service's private metrics registry:
+     * serve/batch and serve/chunk stages, serve/points counter,
+     * serve/batch-points and serve/queue-wait-ns histograms. Callers
+     * merge this with the global registry's snapshot for export.
+     */
+    obs::Snapshot statsSnapshot() const;
+
+    /** Write statsSnapshot() to options.statsPath (no-op if unset). */
+    void dumpStats() const;
+
   private:
     /** Predict queries[begin, end) into rows. */
     void computeRange(const std::vector<MicroarchConfig> &queries,
                       std::vector<PredictionRow> &rows, std::size_t begin,
                       std::size_t end) const;
 
-    /** Fold one finished batch into the counters. */
-    void recordBatch(std::size_t points, double elapsed_ms);
+    /** Fold one finished batch into the registry. */
+    void recordBatch(std::size_t points, std::uint64_t elapsedNs);
 
     ModelArtifact artifact_;
     ServeOptions options_;
@@ -171,9 +199,16 @@ class PredictionService
     // Serialises public predict() callers.
     std::mutex batchMutex_;
 
-    // Serving counters.
-    mutable std::mutex statsMutex_;
-    ServiceStats stats_;
+    // Serving metrics: a private registry (declared before the
+    // references into it) so per-service stats stay isolated from the
+    // global registry and resettable.
+    obs::Registry registry_;
+    obs::Stage &batchStage_;
+    obs::Stage &chunkStage_;
+    obs::Counter &pointsServed_;
+    obs::Histogram &batchPoints_;
+    obs::Histogram &queueWaitNs_;
+    std::atomic<std::uint64_t> lastBatchNs_{0};
 };
 
 } // namespace acdse

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON reader for tests only: enough to
+ * round-trip what base/json.hh's JsonWriter and obs/stats_export.cc
+ * emit (objects, arrays, strings, numbers, bools, null) and assert on
+ * the result. Production code never parses JSON (see base/json.hh);
+ * keep it that way -- this header must stay under tests/.
+ *
+ * Errors throw std::runtime_error with a byte offset, which is plenty
+ * for a failing test.
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acdse::testjson
+{
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.contains(key);
+    }
+
+    /** Member access; throws on missing key or non-object. */
+    const Value &at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("json: not an object");
+        const auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("json: missing key '" + key + "'");
+        return it->second;
+    }
+
+    double asNumber() const
+    {
+        if (kind != Kind::Number)
+            throw std::runtime_error("json: not a number");
+        return number;
+    }
+
+    const std::string &asString() const
+    {
+        if (kind != Kind::String)
+            throw std::runtime_error("json: not a string");
+        return text;
+    }
+};
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parseDocument()
+    {
+        Value value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at byte " +
+                                 std::to_string(pos_));
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Value parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          default:
+            return parseLiteralOrNumber();
+        }
+    }
+
+    Value parseObject()
+    {
+        expect('{');
+        Value out;
+        out.kind = Value::Kind::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skipSpace();
+            Value key = parseString();
+            skipSpace();
+            expect(':');
+            out.object.emplace(key.text, parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return out;
+        }
+    }
+
+    Value parseArray()
+    {
+        expect('[');
+        Value out;
+        out.kind = Value::Kind::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.array.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return out;
+        }
+    }
+
+    Value parseString()
+    {
+        expect('"');
+        Value out;
+        out.kind = Value::Kind::String;
+        for (;;) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.text.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.text.push_back(esc);
+                break;
+              case 'n':
+                out.text.push_back('\n');
+                break;
+              case 't':
+                out.text.push_back('\t');
+                break;
+              case 'r':
+                out.text.push_back('\r');
+                break;
+              case 'b':
+                out.text.push_back('\b');
+                break;
+              case 'f':
+                out.text.push_back('\f');
+                break;
+              case 'u': {
+                // The writer only emits \u00XX control escapes; decode
+                // the low byte and reject anything wider.
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const std::string hex(text_.substr(pos_, 4));
+                pos_ += 4;
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(hex, nullptr, 16));
+                if (code > 0xff)
+                    fail("non-latin \\u escape unsupported");
+                out.text.push_back(static_cast<char>(code));
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value parseLiteralOrNumber()
+    {
+        if (consume("true")) {
+            Value out;
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return out;
+        }
+        if (consume("false")) {
+            Value out;
+            out.kind = Value::Kind::Bool;
+            return out;
+        }
+        if (consume("null"))
+            return Value{};
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("unexpected character");
+        Value out;
+        out.kind = Value::Kind::Number;
+        try {
+            out.number =
+                std::stod(std::string(text_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            fail("bad number");
+        }
+        return out;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse a complete JSON document; throws std::runtime_error. */
+inline Value
+parse(std::string_view text)
+{
+    return detail::Parser(text).parseDocument();
+}
+
+} // namespace acdse::testjson

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * End-to-end tests for the production CLI binaries, driven as real
+ * subprocesses: train_then_serve trains and persists an artifact,
+ * acdse-serve serves it, and both emit acdse-stats-v1 stats through
+ * --stats-out. Also covers the bad-flag and corrupt-artifact error
+ * paths (exit codes 2 and 1 respectively).
+ *
+ * Binary paths arrive as compile definitions (ACDSE_TOOL_*) from
+ * tests/CMakeLists.txt, so the tests always run the binaries of the
+ * same build tree. Runs are pinned to ACDSE_THREADS=1 and a tiny
+ * campaign so one end-to-end pass stays in CI budget; single-threaded
+ * runs also make the "self times sum to <= wall time" stage-tree
+ * invariant exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_reader.hh"
+#include "obs/metrics.hh"
+
+namespace acdse
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Number of training programs the e2e run uses (see trainCmd). */
+constexpr std::size_t kTrainPrograms = 2;
+
+/** Metrics train_then_serve trains (one ensemble per kAllMetrics). */
+constexpr std::size_t kMetricsTrained = 4;
+
+struct RunResult
+{
+    int exitCode = -1;
+    double wallSeconds = 0.0;
+    std::string output; //!< merged stdout+stderr
+};
+
+/** Run @p command under `sh -c`, capturing exit code and output. */
+RunResult
+run(const fs::path &dir, const std::string &command)
+{
+    const fs::path log = dir / "run.log";
+    const std::string wrapped =
+        "cd '" + dir.string() + "' && { " + command + " ; } > '" +
+        log.string() + "' 2>&1";
+    const auto start = std::chrono::steady_clock::now();
+    const int status = std::system(wrapped.c_str());
+    RunResult result;
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    result.exitCode =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    std::ifstream in(log);
+    std::ostringstream text;
+    text << in.rdbuf();
+    result.output = text.str();
+    return result;
+}
+
+fs::path
+freshDir(const std::string &name)
+{
+    const fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+testjson::Value
+parseFile(const fs::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return testjson::parse(text.str());
+}
+
+/**
+ * The small train_then_serve invocation shared by the tests: two
+ * training programs plus a target, a short synthetic trace, one
+ * thread. ~seconds, not minutes.
+ */
+std::string
+trainCmd(const std::string &extra)
+{
+    return std::string("ACDSE_THREADS=1 ACDSE_CONFIGS=56 "
+                       "ACDSE_TRACE_LEN=2000 ACDSE_WARMUP=400 "
+                       "ACDSE_CACHE_DIR=. ") +
+           ACDSE_TOOL_TRAIN_THEN_SERVE +
+           " --train-programs gzip,crafty --target vpr"
+           " --train-sims 24 --responses 16 " +
+           extra;
+}
+
+TEST(CliTrainThenServe, EndToEndWithStats)
+{
+    const fs::path dir = freshDir("acdse_cli_tts");
+    const RunResult result = run(
+        dir, trainCmd("--out model.acdse --stats-out stats.json"));
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_TRUE(fs::exists(dir / "model.acdse"));
+    ASSERT_TRUE(fs::exists(dir / "stats.json")) << result.output;
+
+    const testjson::Value doc = parseFile(dir / "stats.json");
+    EXPECT_EQ(doc.at("schema").asString(), "acdse-stats-v1");
+    const testjson::Value &stages = doc.at("stages");
+
+    // One train/program/<i> stage per training program, each spanned
+    // once per trained metric.
+    std::size_t trainProgramStages = 0;
+    for (const auto &[path, stage] : stages.object) {
+        if (path.starts_with("train/program/")) {
+            ++trainProgramStages;
+            if (obs::kEnabled) {
+                EXPECT_EQ(stage.at("count").asNumber(),
+                          static_cast<double>(kMetricsTrained))
+                    << path;
+            }
+        }
+    }
+    EXPECT_EQ(trainProgramStages, kTrainPrograms);
+
+    if (!obs::kEnabled)
+        return; // OFF builds emit valid, all-zero stats; done.
+
+    // The campaign, training, fit and serve stages all saw real time.
+    EXPECT_GT(stages.at("campaign/fill").at("total_ms").asNumber(),
+              0.0);
+    EXPECT_GT(stages.at("train/offline").at("total_ms").asNumber(),
+              0.0);
+    EXPECT_EQ(stages.at("train/offline").at("count").asNumber(),
+              static_cast<double>(kMetricsTrained));
+    EXPECT_GT(stages.at("fit/responses").at("total_ms").asNumber(),
+              0.0);
+    EXPECT_GE(stages.at("serve/batch").at("count").asNumber(), 1.0);
+
+    // Self times are exclusive, so on a single-threaded run their sum
+    // across all stages cannot exceed the process wall time.
+    double selfSumMs = 0.0;
+    for (const auto &[path, stage] : stages.object) {
+        const double self = stage.at("self_ms").asNumber();
+        EXPECT_GE(self, 0.0) << path;
+        EXPECT_LE(self, stage.at("total_ms").asNumber() + 1e-9) << path;
+        selfSumMs += self;
+    }
+    EXPECT_LE(selfSumMs, result.wallSeconds * 1000.0);
+}
+
+TEST(CliTrainThenServe, RejectsUnknownFlag)
+{
+    const fs::path dir = freshDir("acdse_cli_tts_badflag");
+    const RunResult result =
+        run(dir, std::string(ACDSE_TOOL_TRAIN_THEN_SERVE) +
+                     " --no-such-flag");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTrainThenServe, RejectsBadValues)
+{
+    const fs::path dir = freshDir("acdse_cli_tts_badval");
+    // fatal() paths exit 1: zero T/R and a flag missing its value.
+    EXPECT_EQ(run(dir, trainCmd("--train-sims 0")).exitCode, 1);
+    EXPECT_EQ(run(dir, trainCmd("--out")).exitCode, 1);
+}
+
+TEST(CliServe, ServesQueriesAndWritesStats)
+{
+    const fs::path dir = freshDir("acdse_cli_serve");
+    const RunResult trained =
+        run(dir, trainCmd("--out model.acdse"));
+    ASSERT_EQ(trained.exitCode, 0) << trained.output;
+
+    // A header row, a comment and two valid Table-1 query rows.
+    {
+        std::ofstream queries(dir / "queries.csv");
+        queries << "width,rob,iq,lsq,rf,rfrd,rfwr,bpred,btb,br,il1,"
+                   "dl1,l2\n";
+        queries << "# comment line\n";
+        queries << "4,96,32,24,80,8,4,16,4,16,32,32,2048\n";
+        queries << "8,160,64,48,128,16,8,32,2,24,64,64,4096\n";
+    }
+    const RunResult served = run(
+        dir, std::string("ACDSE_THREADS=1 ") + ACDSE_TOOL_SERVE +
+                 " --model model.acdse --input queries.csv --stats"
+                 " --stats-out serve_stats.json > out.csv");
+    ASSERT_EQ(served.exitCode, 0) << served.output;
+
+    // Output CSV: one header plus one row per query.
+    std::ifstream out(dir / "out.csv");
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(out, line)) {
+        if (!line.empty())
+            ++rows;
+    }
+    EXPECT_EQ(rows, 3u);
+
+    const testjson::Value doc = parseFile(dir / "serve_stats.json");
+    EXPECT_EQ(doc.at("schema").asString(), "acdse-stats-v1");
+    if (obs::kEnabled) {
+        EXPECT_GE(
+            doc.at("stages").at("serve/batch").at("count").asNumber(),
+            1.0);
+        EXPECT_EQ(doc.at("counters").at("serve/points").asNumber(),
+                  2.0);
+        EXPECT_EQ(
+            doc.at("histograms").at("serve/batch-points").at("count")
+                .asNumber(),
+            1.0);
+    }
+}
+
+TEST(CliServe, RejectsUnknownFlagAndMissingModel)
+{
+    const fs::path dir = freshDir("acdse_cli_serve_badflag");
+    EXPECT_EQ(run(dir, std::string(ACDSE_TOOL_SERVE) + " --bogus")
+                  .exitCode,
+              2);
+    // --model is required.
+    EXPECT_EQ(run(dir, std::string(ACDSE_TOOL_SERVE)).exitCode, 2);
+    // --stats-every without --stats-out is a user error.
+    EXPECT_EQ(run(dir, std::string(ACDSE_TOOL_SERVE) +
+                           " --model x.acdse --stats-every 2")
+                  .exitCode,
+              1);
+}
+
+TEST(CliServe, RejectsCorruptArtifact)
+{
+    const fs::path dir = freshDir("acdse_cli_serve_corrupt");
+    {
+        std::ofstream bad(dir / "corrupt.acdse");
+        bad << "this is not an artifact";
+    }
+    const RunResult result =
+        run(dir, std::string(ACDSE_TOOL_SERVE) +
+                     " --model corrupt.acdse --input /dev/null");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("fatal"), std::string::npos);
+}
+
+} // namespace
+} // namespace acdse

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): counter, gauge and
+ * histogram exactness, log2 bucket edges, span nesting/attribution,
+ * multi-thread aggregation (run under TSan via the Obs* name in the
+ * sanitizer matrix), snapshot merge/diff algebra, the acdse-stats-v1
+ * JSON round-trip, and ACDSE_OBS=OFF no-op behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_reader.hh"
+#include "obs/metrics.hh"
+#include "obs/stats_export.hh"
+#include "obs/trace_span.hh"
+
+namespace acdse::obs
+{
+namespace
+{
+
+TEST(ObsCounter, AddsExactly)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    if constexpr (kEnabled) {
+        EXPECT_EQ(counter.value(), 42u);
+        counter.reset();
+    }
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndAdd)
+{
+    Gauge gauge;
+    gauge.set(7);
+    gauge.add(-10);
+    if constexpr (kEnabled)
+        EXPECT_EQ(gauge.value(), -3);
+    else
+        EXPECT_EQ(gauge.value(), 0);
+    gauge.reset();
+    EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(ObsHistogram, BucketEdges)
+{
+    // Bucket 0 is exactly {0}; bucket b>0 covers [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLow(b)), b);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHigh(b)), b);
+    }
+    EXPECT_EQ(Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Histogram::bucketHigh(64), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordsExactMoments)
+{
+    Histogram histogram;
+    for (std::uint64_t v : {5u, 9u, 0u, 1000u})
+        histogram.record(v);
+    const HistogramSnapshot snap = histogram.read();
+    if constexpr (!kEnabled) {
+        EXPECT_EQ(snap.count, 0u);
+        return;
+    }
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 1014u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 1000u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 1014.0 / 4.0);
+    EXPECT_EQ(snap.buckets[0], 1u);                       // 0
+    EXPECT_EQ(snap.buckets[Histogram::bucketOf(5)], 1u);  // 5
+    EXPECT_EQ(snap.buckets[Histogram::bucketOf(9)], 1u);  // 9
+    EXPECT_EQ(snap.buckets[10], 1u);                      // 1000
+}
+
+TEST(ObsHistogram, EmptyReadsZero)
+{
+    Histogram histogram;
+    const HistogramSnapshot snap = histogram.read();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.min, 0u); // not the ~0 sentinel
+    EXPECT_EQ(snap.max, 0u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+}
+
+TEST(ObsCounter, MultiThreadAggregationIsExact)
+{
+    // Sharded relaxed atomics must still add up exactly across
+    // threads. This is the TSan witness for the whole wait-free path.
+    Counter counter;
+    Histogram histogram;
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                counter.add(1);
+                histogram.record(3);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    if constexpr (kEnabled) {
+        EXPECT_EQ(counter.value(), kThreads * kPerThread);
+        const HistogramSnapshot snap = histogram.read();
+        EXPECT_EQ(snap.count, kThreads * kPerThread);
+        EXPECT_EQ(snap.sum, 3u * kThreads * kPerThread);
+        EXPECT_EQ(snap.min, 3u);
+        EXPECT_EQ(snap.max, 3u);
+    } else {
+        EXPECT_EQ(counter.value(), 0u);
+    }
+}
+
+TEST(ObsRegistry, InternsByName)
+{
+    Registry registry;
+    Counter &a = registry.counter("x/count");
+    Counter &b = registry.counter("x/count");
+    EXPECT_EQ(&a, &b);
+    Gauge &g = registry.gauge("x/depth");
+    EXPECT_EQ(&g, &registry.gauge("x/depth"));
+    Stage &s = registry.stage("x/stage");
+    EXPECT_EQ(&s, &registry.stage("x/stage"));
+    EXPECT_EQ(s.path(), "x/stage");
+}
+
+TEST(ObsRegistryDeathTest, RejectsKindCollision)
+{
+    Registry registry;
+    registry.counter("name");
+    EXPECT_DEATH(registry.gauge("name"), "already registered");
+    EXPECT_DEATH(registry.histogram("name"), "already registered");
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsNames)
+{
+    Registry registry;
+    registry.counter("c").add(5);
+    registry.gauge("g").set(5);
+    registry.histogram("h").record(5);
+    registry.reset();
+    const Snapshot snap = registry.snapshot();
+    ASSERT_TRUE(snap.counters.contains("c"));
+    EXPECT_EQ(snap.counters.at("c"), 0u);
+    EXPECT_EQ(snap.gauges.at("g"), 0);
+    EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(ObsTraceSpan, AttributesNestedTimeToParent)
+{
+    if constexpr (!kEnabled)
+        GTEST_SKIP() << "spans compiled out (ACDSE_OBS=OFF)";
+    Registry registry;
+    Stage &outer = registry.stage("t/outer");
+    Stage &inner = registry.stage("t/inner");
+    {
+        const TraceSpan outerSpan(outer);
+        EXPECT_EQ(TraceSpan::current()->stage(), &outer);
+        {
+            const TraceSpan innerSpan(inner);
+            EXPECT_EQ(TraceSpan::current()->stage(), &inner);
+        }
+        EXPECT_EQ(TraceSpan::current()->stage(), &outer);
+    }
+    EXPECT_EQ(TraceSpan::current(), nullptr);
+
+    const Snapshot snap = registry.snapshot();
+    const StageSnapshot &outerSnap = snap.stages.at("t/outer");
+    const StageSnapshot &innerSnap = snap.stages.at("t/inner");
+    EXPECT_EQ(outerSnap.count, 1u);
+    EXPECT_EQ(innerSnap.count, 1u);
+    // The inner span's whole inclusive time was credited to the outer
+    // span's child time, so outer self time excludes it...
+    EXPECT_EQ(outerSnap.childNs, innerSnap.totalNs);
+    // ...and inclusive nesting holds.
+    EXPECT_GE(outerSnap.totalNs, innerSnap.totalNs);
+    EXPECT_GE(outerSnap.selfMs(), 0.0);
+    EXPECT_DOUBLE_EQ(outerSnap.totalMs(),
+                     outerSnap.selfMs() +
+                         static_cast<double>(outerSnap.childNs) / 1e6);
+}
+
+TEST(ObsTraceSpan, SiblingsAccumulate)
+{
+    if constexpr (!kEnabled)
+        GTEST_SKIP() << "spans compiled out (ACDSE_OBS=OFF)";
+    Registry registry;
+    Stage &stage = registry.stage("t/repeat");
+    for (int i = 0; i < 3; ++i) {
+        const TraceSpan span(stage);
+    }
+    const StageSnapshot snap = registry.snapshot().stages.at("t/repeat");
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.spans.count, 3u);
+    EXPECT_GE(snap.spans.max, snap.spans.min);
+}
+
+TEST(ObsTraceSpan, SpansOnOtherThreadsHaveNoParent)
+{
+    if constexpr (!kEnabled)
+        GTEST_SKIP() << "spans compiled out (ACDSE_OBS=OFF)";
+    Registry registry;
+    Stage &outer = registry.stage("t/outer");
+    Stage &worker = registry.stage("t/worker");
+    {
+        const TraceSpan outerSpan(outer);
+        std::thread([&] {
+            EXPECT_EQ(TraceSpan::current(), nullptr);
+            const TraceSpan workerSpan(worker);
+        }).join();
+    }
+    const Snapshot snap = registry.snapshot();
+    // Cross-thread spans are deliberately not attributed as children.
+    EXPECT_EQ(snap.stages.at("t/outer").childNs, 0u);
+    EXPECT_EQ(snap.stages.at("t/worker").count, 1u);
+}
+
+TEST(ObsSnapshot, MergeAddsAndDiffSubtracts)
+{
+    Registry a;
+    Registry b;
+    a.counter("n").add(2);
+    b.counter("n").add(3);
+    b.counter("only-b").add(1);
+    a.histogram("h").record(4);
+    b.histogram("h").record(64);
+
+    Snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    if constexpr (kEnabled) {
+        EXPECT_EQ(merged.counters.at("n"), 5u);
+        EXPECT_EQ(merged.counters.at("only-b"), 1u);
+        EXPECT_EQ(merged.histograms.at("h").count, 2u);
+        EXPECT_EQ(merged.histograms.at("h").min, 4u);
+        EXPECT_EQ(merged.histograms.at("h").max, 64u);
+    }
+
+    const Snapshot before = b.snapshot();
+    b.counter("n").add(10);
+    b.histogram("h").record(8);
+    const Snapshot delta = diff(before, b.snapshot());
+    if constexpr (kEnabled) {
+        EXPECT_EQ(delta.counters.at("n"), 10u);
+        EXPECT_EQ(delta.counters.at("only-b"), 0u);
+        EXPECT_EQ(delta.histograms.at("h").count, 1u);
+        EXPECT_EQ(delta.histograms.at("h").sum, 8u);
+        EXPECT_EQ(
+            delta.histograms.at("h").buckets[Histogram::bucketOf(8)],
+            1u);
+    } else {
+        EXPECT_EQ(delta.counters.at("n"), 0u);
+    }
+}
+
+TEST(ObsExport, StatsJsonRoundTrips)
+{
+    Registry registry;
+    registry.counter("work/items").add(12);
+    registry.gauge("work/depth").set(-2);
+    registry.histogram("work/ns").record(100);
+    registry.histogram("work/ns").record(3000);
+    // Intern the stage by name first: under ACDSE_OBS=OFF the span
+    // constructor is a no-op and would never create it, but an
+    // explicitly registered stage still exports (as zeros).
+    Stage &stage_ref = registry.stage("work/stage");
+    {
+        const TraceSpan span(stage_ref);
+    }
+
+    const std::string json = statsToJson(registry.snapshot());
+    const testjson::Value doc = testjson::parse(json);
+    EXPECT_EQ(doc.at("schema").asString(), kStatsSchema);
+    ASSERT_TRUE(doc.at("counters").isObject());
+    ASSERT_TRUE(doc.at("gauges").isObject());
+    ASSERT_TRUE(doc.at("histograms").isObject());
+    ASSERT_TRUE(doc.at("stages").isObject());
+
+    const double items = doc.at("counters").at("work/items").asNumber();
+    const double depth = doc.at("gauges").at("work/depth").asNumber();
+    const testjson::Value &hist = doc.at("histograms").at("work/ns");
+    const testjson::Value &stage = doc.at("stages").at("work/stage");
+    if constexpr (kEnabled) {
+        EXPECT_EQ(items, 12.0);
+        EXPECT_EQ(depth, -2.0);
+        EXPECT_EQ(hist.at("count").asNumber(), 2.0);
+        EXPECT_EQ(hist.at("sum").asNumber(), 3100.0);
+        EXPECT_EQ(hist.at("min").asNumber(), 100.0);
+        EXPECT_EQ(hist.at("max").asNumber(), 3000.0);
+        // Two occupied buckets, each with an inclusive upper edge that
+        // contains its sample.
+        ASSERT_EQ(hist.at("buckets").array.size(), 2u);
+        EXPECT_GE(hist.at("buckets").array[0].at("le").asNumber(),
+                  100.0);
+        EXPECT_EQ(stage.at("count").asNumber(), 1.0);
+        EXPECT_GE(stage.at("total_ms").asNumber(), 0.0);
+        EXPECT_GE(stage.at("total_ms").asNumber(),
+                  stage.at("self_ms").asNumber() - 1e-9);
+    } else {
+        // OFF builds still emit a schema-valid, all-zero document.
+        EXPECT_EQ(items, 0.0);
+        EXPECT_EQ(depth, 0.0);
+        EXPECT_EQ(hist.at("count").asNumber(), 0.0);
+        EXPECT_TRUE(hist.at("buckets").array.empty());
+        EXPECT_EQ(stage.at("count").asNumber(), 0.0);
+    }
+}
+
+TEST(ObsMode, CompiledModeIsConsistent)
+{
+    // kEnabled mirrors the ACDSE_OBS CMake knob; mutation no-ops are
+    // covered per-primitive above. This pins the define itself.
+#if defined(ACDSE_OBS_DISABLED)
+    EXPECT_FALSE(kEnabled);
+#else
+    EXPECT_TRUE(kEnabled);
+#endif
+}
+
+} // namespace
+} // namespace acdse::obs

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <latch>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -172,18 +173,26 @@ TEST(ThreadPool, SubmitOnSingleThreadPoolRunsInline)
 
 TEST(ThreadPool, TeardownCompletesQueuedWork)
 {
+    // A latch (not a sleep) backs the queue up deterministically: the
+    // single worker blocks in the first task until every later task is
+    // enqueued, so the destructor provably starts with work pending
+    // and must drain it rather than drop it.
     std::atomic<int> completed{0};
+    std::latch gate(1);
     std::vector<std::future<void>> futures;
     {
-        ThreadPool pool(2); // one worker: the queue must back up
-        for (int i = 0; i < 8; ++i) {
-            futures.push_back(pool.submit([&] {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(5));
-                completed.fetch_add(1);
-            }));
-        }
-        // Destructor runs here with most of the queue still pending.
+        ThreadPool pool(2); // one worker
+        futures.push_back(pool.submit([&] {
+            gate.wait();
+            completed.fetch_add(1);
+        }));
+        for (int i = 0; i < 7; ++i)
+            futures.push_back(
+                pool.submit([&] { completed.fetch_add(1); }));
+        gate.count_down();
+        // Destructor runs here, racing the worker for the tail of the
+        // queue; either way all eight tasks must have completed by the
+        // time it returns.
     }
     EXPECT_EQ(completed.load(), 8);
     for (auto &future : futures) {

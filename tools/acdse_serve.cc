@@ -37,6 +37,7 @@
 #include "base/csv.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "obs/stats_export.hh"
 #include "serve/prediction_service.hh"
 
 using namespace acdse;
@@ -51,6 +52,8 @@ struct CliOptions
     std::size_t batch = 256;
     std::size_t threads = 0; // 0 = ServeOptions default
     bool printStats = false;
+    std::string statsOut;       //!< acdse-stats-v1 dump path
+    std::size_t statsEvery = 0; //!< periodic dump cadence in batches
 };
 
 void
@@ -59,7 +62,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --model FILE [--input FILE|-] [--batch N]\n"
-        "          [--threads N] [--stats]\n"
+        "          [--threads N] [--stats] [--stats-out FILE]\n"
+        "          [--stats-every N]\n"
         "\n"
         "Serve design-point predictions from a trained model artifact.\n"
         "Reads CSV rows of the 13 Table-1 parameters from --input\n"
@@ -90,6 +94,11 @@ parseArgs(int argc, char **argv)
                 parseU64OrDie("--threads", value(i)));
         } else if (!std::strcmp(argv[i], "--stats")) {
             options.printStats = true;
+        } else if (!std::strcmp(argv[i], "--stats-out")) {
+            options.statsOut = value(i);
+        } else if (!std::strcmp(argv[i], "--stats-every")) {
+            options.statsEvery = static_cast<std::size_t>(
+                parseU64OrDie("--stats-every", value(i)));
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -104,6 +113,8 @@ parseArgs(int argc, char **argv)
     }
     if (options.batch == 0)
         fatal("--batch must be positive");
+    if (options.statsEvery != 0 && options.statsOut.empty())
+        fatal("--stats-every needs --stats-out");
     return options;
 }
 
@@ -184,6 +195,11 @@ main(int argc, char **argv)
     ServeOptions serve_options = ServeOptions::fromEnvironment();
     if (cli.threads)
         serve_options.threads = cli.threads;
+    // Periodic dumps come straight from the service (its private
+    // registry); the final dump below also merges the global registry
+    // for the pool/ metrics.
+    serve_options.statsPath = cli.statsOut;
+    serve_options.statsEveryBatches = cli.statsEvery;
 
     std::ifstream file;
     std::istream *in = &std::cin;
@@ -238,6 +254,11 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(stats.points),
                          stats.meanMs(), stats.minMs, stats.maxMs,
                          stats.pointsPerSecond());
+        }
+        if (!cli.statsOut.empty()) {
+            obs::Snapshot snap = obs::Registry::global().snapshot();
+            snap.merge(service.statsSnapshot());
+            obs::writeStatsFile(cli.statsOut, snap);
         }
     } catch (const SerializationError &err) {
         fatal("cannot serve '", cli.modelPath, "': ", err.what());

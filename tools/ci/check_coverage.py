@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Gate CI on line coverage of ``src/``: fail when the measured
+fraction of executed lines drops below the checked-in floor.
+
+Usage:
+    check_coverage.py [--build-dir build-cov] [--root .]
+        [--floor FRACTION] [--html coverage.html]
+
+Requires a tree configured with ``-DACDSE_COVERAGE=ON`` (gcc
+``--coverage``) whose tests have already run: the ``.gcda`` counters
+next to each object file are the input. Only ``gcov`` itself is needed
+(it ships with gcc) -- no gcovr/lcov. Every ``.gcno`` is exported as
+JSON (``gcov --json-format --stdout``) and merged per source file:
+a line is *executable* if any translation unit reports it, and
+*covered* if any reports a nonzero count. Headers compiled into many
+TUs are therefore counted once, with their best count.
+
+The gate applies to ``src/`` only. Tests, tools and benches appear in
+the report but never gate: the point is that the library is exercised,
+not that the harness covers itself.
+
+Floor-ratcheting procedure
+--------------------------
+``DEFAULT_FLOOR`` below is the enforced fraction. It is set a few
+points under what CI measures so innocuous churn (a new error branch,
+dead-code removal elsewhere) never fails an unrelated PR. To ratchet:
+
+1. Read the measured total from the ``coverage`` job summary of a
+   recent green run on main.
+2. Set ``DEFAULT_FLOOR`` to roughly ``measured - 0.03``; never lower
+   it without a comment in the PR accepting the loss.
+3. A PR that adds a large untested subsystem should raise coverage or
+   this floor will block it -- that is the feature, not a bug.
+"""
+
+import argparse
+import html
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_FLOOR = 0.92
+
+SCHEMA = "acdse-coverage-v1"
+
+
+def gcov_json(gcno, build_dir):
+    """Export one .gcno as parsed gcov JSON (None on gcov failure)."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.relpath(gcno, build_dir)],
+        cwd=build_dir,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    if proc.returncode != 0 or not proc.stdout:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def collect(build_dir, root):
+    """Merge all .gcno exports into {relpath: {line: max_count}}."""
+    gcnos = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcno"):
+                gcnos.append(os.path.join(dirpath, name))
+    if not gcnos:
+        raise SystemExit(
+            f"no .gcno files under {build_dir}: configure with "
+            "-DACDSE_COVERAGE=ON and build first"
+        )
+
+    root = os.path.realpath(root)
+    merged = {}
+    for gcno in sorted(gcnos):
+        doc = gcov_json(gcno, build_dir)
+        if doc is None:
+            continue
+        cwd = doc.get("current_working_directory", build_dir)
+        for entry in doc.get("files", []):
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(cwd, path)
+            path = os.path.realpath(path)
+            if not path.startswith(root + os.sep):
+                continue  # system or third-party header
+            rel = os.path.relpath(path, root)
+            lines = merged.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                lines[number] = max(lines.get(number, 0), count)
+    return merged
+
+
+def directory_of(rel):
+    """Report key: first two path components (src/obs, tests, ...)."""
+    parts = rel.split(os.sep)
+    return os.sep.join(parts[:2]) if parts[0] == "src" else parts[0]
+
+
+def summarise(merged):
+    """Return (per_file, per_dir) {key: [covered, executable]} maps."""
+    per_file = {}
+    per_dir = {}
+    for rel, lines in sorted(merged.items()):
+        executable = len(lines)
+        covered = sum(1 for count in lines.values() if count > 0)
+        per_file[rel] = [covered, executable]
+        bucket = per_dir.setdefault(directory_of(rel), [0, 0])
+        bucket[0] += covered
+        bucket[1] += executable
+    return per_file, per_dir
+
+
+def ratio(pair):
+    covered, executable = pair
+    return covered / executable if executable else 1.0
+
+
+def uncovered_ranges(lines, limit=12):
+    """Compact 'l1-l2, l3, ...' list of uncovered lines for the report."""
+    missed = sorted(n for n, count in lines.items() if count == 0)
+    ranges = []
+    for number in missed:
+        if ranges and number == ranges[-1][1] + 1:
+            ranges[-1][1] = number
+        else:
+            ranges.append([number, number])
+    parts = [str(a) if a == b else f"{a}-{b}" for a, b in ranges]
+    if len(parts) > limit:
+        parts = parts[:limit] + [f"... +{len(parts) - limit} more"]
+    return ", ".join(parts)
+
+
+def text_report(per_dir, gated, floor):
+    rows = [(key, f"{pair[0]}/{pair[1]}", f"{ratio(pair):7.2%}")
+            for key, pair in sorted(per_dir.items())]
+    rows.append(("src/ TOTAL (gated)", f"{gated[0]}/{gated[1]}",
+                 f"{ratio(gated):7.2%}"))
+    header = ("directory", "lines covered", "coverage")
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(3)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    ok = ratio(gated) >= floor
+    verdict = (
+        f"OK: src/ line coverage {ratio(gated):.2%} >= floor {floor:.2%}"
+        if ok else
+        f"FAIL: src/ line coverage {ratio(gated):.2%} < floor {floor:.2%}"
+    )
+    return "\n".join(lines + ["", verdict]), ok
+
+
+def html_report(per_file, per_dir, merged, gated, floor, path):
+    """One self-contained HTML file: directory table + per-file rows."""
+    def bar(fraction):
+        colour = ("#2a4" if fraction >= floor else
+                  "#c60" if fraction >= floor - 0.15 else "#c33")
+        return (f'<td style="min-width:8em"><div style="background:'
+                f'{colour};width:{fraction * 100:.0f}%">&nbsp;</div>'
+                f"</td><td>{fraction:.2%}</td>")
+
+    out = [
+        "<!doctype html><meta charset='utf-8'>",
+        "<title>acdse line coverage</title>",
+        "<style>body{font:14px monospace}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}"
+        "</style>",
+        f"<h1>acdse line coverage (schema {SCHEMA})</h1>",
+        f"<p>src/ gated total: <b>{ratio(gated):.2%}</b> "
+        f"(floor {floor:.2%})</p>",
+        "<h2>Per directory</h2><table>",
+        "<tr><th>directory</th><th>covered</th><th>executable</th>"
+        "<th></th><th>coverage</th></tr>",
+    ]
+    for key, pair in sorted(per_dir.items()):
+        out.append(f"<tr><td>{html.escape(key)}</td><td>{pair[0]}</td>"
+                   f"<td>{pair[1]}</td>{bar(ratio(pair))}</tr>")
+    out.append("</table><h2>Per file</h2><table>")
+    out.append("<tr><th>file</th><th>covered</th><th>executable</th>"
+               "<th></th><th>coverage</th><th>uncovered lines</th></tr>")
+    for rel, pair in sorted(per_file.items()):
+        missed = uncovered_ranges(merged[rel])
+        out.append(f"<tr><td>{html.escape(rel)}</td><td>{pair[0]}</td>"
+                   f"<td>{pair[1]}</td>{bar(ratio(pair))}"
+                   f"<td>{html.escape(missed)}</td></tr>")
+    out.append("</table>")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(out))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
+    parser.add_argument("--html", default="")
+    args = parser.parse_args()
+
+    merged = collect(args.build_dir, args.root)
+    per_file, per_dir = summarise(merged)
+    gated = [0, 0]
+    for rel, pair in per_file.items():
+        if rel.startswith("src" + os.sep):
+            gated[0] += pair[0]
+            gated[1] += pair[1]
+    if gated[1] == 0:
+        raise SystemExit("no src/ lines in the coverage data")
+
+    report, ok = text_report(per_dir, gated, args.floor)
+    print(report)
+    if args.html:
+        html_report(per_file, per_dir, merged, gated, args.floor,
+                    args.html)
+        print(f"wrote {args.html}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write("### Line coverage\n\n```\n")
+            summary.write(report)
+            summary.write("\n```\n")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,22 @@ Rules (suppress a single line with a trailing  // NOLINT(acdse-<rule>)):
                          ACDSE_DCHECK (base/check.hh); don't
                          reintroduce it.
 
+  acdse-obs-span-in-hot-loop
+                         obs::TraceSpan construction lexically inside
+                         a for/while body in src/. Spans belong at
+                         stage granularity (around a whole batch,
+                         fold, or training run); a span per loop
+                         iteration times the instrumentation, not the
+                         work, and shows up in serving throughput.
+                         Instrument the loop once from outside, or
+                         record into a Histogram instead. (Worker
+                         lambdas passed to parallelFor are fine: the
+                         lambda body is the per-task stage, not an
+                         inner loop.) Tests are exempt -- they
+                         construct spans in loops to test them.
+
 Exit status: 0 when clean, 1 when any finding is reported.
+Run the embedded rule self-tests with  --self-test .
 """
 
 from __future__ import annotations
@@ -86,6 +101,80 @@ RULES = [
 ]
 
 
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+SPAN_CTOR_RE = re.compile(r"\bTraceSpan\s+\w|\bTraceSpan\s*[({]")
+
+
+def find_spans_in_loops(lines: list[str]) -> list[int]:
+    """Line numbers where a TraceSpan is constructed inside a loop.
+
+    A deliberately lexical scan: brace depth is tracked across the
+    file, and every ``{`` that follows a ``for``/``while`` header opens
+    a loop body until its matching ``}``. Lambda bodies open plain
+    (non-loop) scopes, so spans in parallelFor workers don't flag.
+    Comments and string literals are stripped line-by-line first, which
+    is as much C++ parsing as a lint this size should attempt.
+    """
+    findings: list[int] = []
+    loop_depths: list[int] = []  # brace depth at each open loop body
+    depth = 0
+    parens = 0
+    pending_loop = False  # saw a loop header, waiting for its '{'
+    in_block_comment = False
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+        line = re.sub(r"'(?:[^'\\]|\\.)'", "''", line)
+        line = re.sub(r"//.*", "", line)
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+
+        # A span on the same line as a loop header covers both braced
+        # one-liners and brace-less single-statement bodies.
+        header_here = bool(LOOP_HEADER_RE.search(line))
+        if SPAN_CTOR_RE.search(line) and (
+            loop_depths or header_here or pending_loop
+        ):
+            findings.append(lineno)
+        if header_here:
+            pending_loop = True
+
+        for ch in line:
+            if ch == "(":
+                parens += 1
+            elif ch == ")":
+                parens -= 1
+            elif ch == "{":
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if loop_depths and depth == loop_depths[-1]:
+                    loop_depths.pop()
+            elif ch == ";" and pending_loop and parens == 0:
+                # `for (...) stmt;` without braces (or a do-while
+                # tail): the body is over, nothing was pushed.
+                pending_loop = False
+    return findings
+
+
 def lint_file(root: Path, rel: Path) -> list[str]:
     findings: list[str] = []
     try:
@@ -122,6 +211,21 @@ def lint_file(root: Path, rel: Path) -> list[str]:
                 "saveArtifact() (base/csv.hh, serve/model_store.hh)"
             )
 
+    # Hot-loop span rule: src/ only; tests construct spans in loops on
+    # purpose (they are testing the spans).
+    if top == "src":
+        for lineno in find_spans_in_loops(lines):
+            if "obs-span-in-hot-loop" in {
+                m.group(1) for m in NOLINT_RE.finditer(lines[lineno - 1])
+            }:
+                continue
+            findings.append(
+                f"{rel}:{lineno}: [acdse-obs-span-in-hot-loop] "
+                "TraceSpan constructed inside a loop body; spans are "
+                "stage-granular -- hoist it out of the loop or record "
+                "into an obs::Histogram instead"
+            )
+
     if rel.suffix in (".hh", ".h"):
         directives = [
             l.strip() for l in lines if l.strip().startswith("#")
@@ -135,6 +239,89 @@ def lint_file(root: Path, rel: Path) -> list[str]:
     return findings
 
 
+SELF_TEST_CASES = [
+    # (name, expect_finding_lines, snippet)
+    (
+        "span in for body flags",
+        [2],
+        """for (std::size_t i = 0; i < n; ++i) {
+    const obs::TraceSpan span(stage);
+    work(i);
+}""",
+    ),
+    (
+        "span in while body flags",
+        [2],
+        """while (running) {
+    obs::TraceSpan span(registry, "serve/poll");
+}""",
+    ),
+    (
+        "brace-less loop body flags",
+        [2],
+        """for (auto &item : items)
+    const obs::TraceSpan span(stage);""",
+    ),
+    (
+        "span in nested if inside loop flags",
+        [3],
+        """for (std::size_t i = 0; i < n; ++i) {
+    if (slow(i)) {
+        const obs::TraceSpan span(stage);
+    }
+}""",
+    ),
+    (
+        "span before and after a loop is clean",
+        [],
+        """const obs::TraceSpan outer(stage);
+for (std::size_t i = 0; i < n; ++i) {
+    work(i);
+}
+const obs::TraceSpan tail(stage);""",
+    ),
+    (
+        "span in parallelFor lambda is clean",
+        [],
+        """pool.parallelFor(0, n, [&](std::size_t i) {
+    const obs::TraceSpan span(*stages[i]);
+    work(i);
+});""",
+    ),
+    (
+        "loop after do-while tail is tracked correctly",
+        [],
+        """do {
+    work();
+} while (again());
+const obs::TraceSpan span(stage);""",
+    ),
+    (
+        "commented span in loop is clean",
+        [],
+        """for (std::size_t i = 0; i < n; ++i) {
+    // const obs::TraceSpan span(stage);
+    work(i);
+}""",
+    ),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, expected, snippet in SELF_TEST_CASES:
+        got = find_spans_in_loops(snippet.splitlines())
+        status = "ok" if got == expected else "FAIL"
+        failures += got != expected
+        print(f"{status}: {name} (expected {expected}, got {got})")
+    print(
+        f"acdse_lint --self-test: {len(SELF_TEST_CASES)} cases, "
+        f"{failures} failure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -143,7 +330,15 @@ def main() -> int:
         default=Path(__file__).resolve().parents[2],
         help="repository root (default: inferred from this script)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded rule self-tests and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     files: list[Path] = []
     for top in SOURCE_DIRS:

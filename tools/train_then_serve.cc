@@ -32,6 +32,7 @@
 #include "base/parse.hh"
 #include "base/statistics.hh"
 #include "core/campaign.hh"
+#include "obs/stats_export.hh"
 #include "serve/prediction_service.hh"
 
 using namespace acdse;
@@ -48,6 +49,7 @@ struct CliOptions
         "ammp"};
     std::size_t trainSims = 128; //!< T: simulations per training program
     std::size_t responses = 32;  //!< R: simulations of the target
+    std::string statsOut; //!< acdse-stats-v1 dump path (empty = none)
 };
 
 std::vector<std::string>
@@ -91,12 +93,14 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--responses")) {
             options.responses = static_cast<std::size_t>(
                 parseU64OrDie("--responses", value(i)));
+        } else if (!std::strcmp(argv[i], "--stats-out")) {
+            options.statsOut = value(i);
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--out FILE] [--target PROGRAM]\n"
                 "          [--train-programs a,b,c] [--train-sims T]\n"
-                "          [--responses R]\n",
+                "          [--responses R] [--stats-out FILE]\n",
                 argv[0]);
             std::exit(2);
         }
@@ -209,6 +213,17 @@ main(int argc, char **argv)
                 probes.size(), stats::rmae(predicted, actual),
                 stats::correlation(predicted, actual), stats.lastMs,
                 stats.pointsPerSecond());
+    if (!cli.statsOut.empty()) {
+        // The global registry carries campaign/train/fit/pool metrics;
+        // the service's private registry carries the serve/ ones.
+        obs::Snapshot snap = obs::Registry::global().snapshot();
+        snap.merge(service.statsSnapshot());
+        obs::writeStatsFile(cli.statsOut, snap);
+        std::printf("wrote stage/metric stats (%s) to %s\n",
+                    std::string(obs::kStatsSchema).c_str(),
+                    cli.statsOut.c_str());
+    }
+
     std::printf("\nServe this artifact with:\n  acdse-serve --model %s "
                 "--input queries.csv\n",
                 cli.outPath.c_str());
