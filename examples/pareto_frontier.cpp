@@ -4,9 +4,10 @@
  * spot" identification the paper's introduction motivates.
  *
  * Two architecture-centric predictors (cycles and energy) are fitted
- * from the same 32 responses of a new program; the predicted Pareto
- * frontier over a large random sweep is then validated point by point
- * with real simulations.
+ * from the same 32 responses of a new program; the exploration engine
+ * then streams a seeded random sweep through both and reduces it to
+ * the exact predicted Pareto frontier, which is validated point by
+ * point with real simulations.
  */
 
 #include <cstdio>
@@ -16,7 +17,7 @@
 #include "base/table.hh"
 #include "bench/bench_common.hh"
 #include "core/evaluation.hh"
-#include "core/search.hh"
+#include "explore/explorer.hh"
 #include "sim/simulator.hh"
 
 using namespace acdse;
@@ -55,10 +56,13 @@ main()
     std::printf("predicting the cycles/energy Pareto frontier of '%s' "
                 "from %zu responses...\n\n",
                 new_program.c_str(), bench::kPaperR);
-    const auto frontier = predictedParetoFrontier(
-        [&](const MicroarchConfig &c) { return cycles_model.predict(c); },
-        [&](const MicroarchConfig &c) { return energy_model.predict(c); },
-        8000);
+    explore::ExploreOptions options;
+    options.samples = 8000;
+    const std::vector<explore::MetricEnsemble> ensembles{
+        {Metric::Cycles, &cycles_model},
+        {Metric::Energy, &energy_model}};
+    const auto result = explore::explore(ensembles, options);
+    const auto &frontier = result.frontier;
 
     // Validate (up to) 10 evenly-spaced frontier points by simulation.
     const Trace &trace = campaign.trace(target);
@@ -70,14 +74,14 @@ main()
                  "sim energy (uJ)", "width", "L2 KB"});
     const std::size_t shown = std::min<std::size_t>(10, frontier.size());
     for (std::size_t k = 0; k < shown; ++k) {
-        const MicroarchConfig &config =
+        const explore::FrontierConfig &point =
             frontier[k * (frontier.size() - 1) /
                      std::max<std::size_t>(1, shown - 1)];
+        const MicroarchConfig &config = point.config;
         const SimulationResult real =
             simulate(config, trace, sim_options);
-        table.addRow({Table::num(cycles_model.predict(config), 0),
-                      Table::num(energy_model.predict(config) / 1000.0,
-                                 1),
+        table.addRow({Table::num(point.x, 0),
+                      Table::num(point.y / 1000.0, 1),
                       Table::num(real.metrics.cycles, 0),
                       Table::num(real.metrics.energyNj / 1000.0, 1),
                       Table::num((long long)config.width()),

@@ -48,7 +48,12 @@
 #include "core/evaluation.hh"
 #include "core/feature_based_predictor.hh"
 #include "core/program_specific_predictor.hh"
-#include "core/search.hh"
+
+// Streaming design-space exploration and refinement.
+#include "explore/explorer.hh"
+#include "explore/reducers.hh"
+#include "explore/refine.hh"
+#include "explore/subspace.hh"
 
 // Model persistence and prediction serving.
 #include "serve/model_store.hh"

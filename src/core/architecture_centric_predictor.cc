@@ -149,33 +149,48 @@ ArchitectureCentricPredictor::predictBatchFromFeatures(
     ACDSE_DCHECK(ready(), "predict before training/responses");
     const std::size_t m = programModels_.size();
     const std::size_t d = featureDim();
-    scratch.ensemble.resize(m * count);
-    // Transpose each full block to feature-major once and let every
-    // member model consume it directly (predictBlockSoaFromFeatures):
-    // the strided row gather is shared across the ensemble instead of
-    // re-done per model. Remainder points run each model's ordinary
-    // batch path, which is the scalar path on a sub-block count.
+    // Transpose each full block to feature-major once and run the
+    // block entry point on it; remainder points run each model's
+    // ordinary batch path (the scalar path on a sub-block count) into
+    // a model-major slab for one regressor pass. Per-point arithmetic
+    // is identical either way, so out[] is bit-identical to the scalar
+    // predict at any count.
     const std::size_t full = count - count % simd::kLanes;
     scratch.soa.resize(d * simd::kLanes);
     for (std::size_t base = 0; base < full; base += simd::kLanes) {
         simd::transposeBlock(features + base * d, d, scratch.soa.data());
-        for (std::size_t j = 0; j < m; ++j) {
-            programModels_[j]->predictBlockSoaFromFeatures(
-                scratch.soa.data(),
-                scratch.ensemble.data() + j * count + base, scratch.mlp);
-        }
+        predictBlockSoaFromFeatures(scratch.soa.data(), out + base,
+                                    scratch);
     }
     if (full < count) {
+        const std::size_t rem = count - full;
+        scratch.ensemble.resize(m * rem);
         for (std::size_t j = 0; j < m; ++j) {
             programModels_[j]->predictBatchFromFeatures(
-                features + full * d, count - full,
-                scratch.ensemble.data() + j * count + full, scratch.mlp);
+                features + full * d, rem,
+                scratch.ensemble.data() + j * rem, scratch.mlp);
         }
+        regressor_.predictSoa(scratch.ensemble.data(), rem, out + full);
     }
-    // Model-major ensemble outputs are exactly a feature-major block
-    // for the regressor: combine all lanes in one pass, in the same
+}
+
+void
+ArchitectureCentricPredictor::predictBlockSoaFromFeatures(
+    const double *soa, double *out, BatchPredictScratch &scratch) const
+{
+    ACDSE_DCHECK(ready(), "predict before training/responses");
+    const std::size_t m = programModels_.size();
+    scratch.ensemble.resize(m * simd::kLanes);
+    // Every member model consumes the shared feature-major block
+    // directly; the model-major outputs are exactly a feature-major
+    // block for the regressor, combined lane-wise in the same
     // ascending-model order as the scalar predict.
-    regressor_.predictSoa(scratch.ensemble.data(), count, out);
+    for (std::size_t j = 0; j < m; ++j) {
+        programModels_[j]->predictBlockSoaFromFeatures(
+            soa, scratch.ensemble.data() + j * simd::kLanes,
+            scratch.mlp);
+    }
+    regressor_.predictSoa(scratch.ensemble.data(), simd::kLanes, out);
 }
 
 void

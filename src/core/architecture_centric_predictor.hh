@@ -138,6 +138,18 @@ class ArchitectureCentricPredictor
                                   BatchPredictScratch &scratch) const;
 
     /**
+     * Predict one full simd::kLanes-wide block already transposed to
+     * feature-major layout (soa[f * kLanes + lane]); out receives
+     * kLanes predictions, bit-identical to predictFromFeatures per
+     * lane. This is the engine-facing entry point: a caller scoring
+     * several metrics of the same points -- the exploration engine
+     * runs one ensemble per metric -- transposes each block once and
+     * hands the shared layout to every ensemble.
+     */
+    void predictBlockSoaFromFeatures(const double *soa, double *out,
+                                     BatchPredictScratch &scratch) const;
+
+    /**
      * Error of the fit on its own responses (the "training error" of
      * Figs. 11/12, which the paper shows is a usable proxy for the
      * testing error and so flags programs with unique behaviour).

@@ -1,0 +1,106 @@
+#include "explore/reducers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hh"
+
+namespace acdse::explore
+{
+
+void
+ParetoFront::add(const PointValues &values, double x, double y)
+{
+    // NaN objectives would corrupt the map's ordering invariant; the
+    // predictors only produce finite values.
+    ACDSE_DCHECK(std::isfinite(x) && std::isfinite(y),
+                 "non-finite objective offered to ParetoFront");
+    auto it = front_.lower_bound(x);
+    if (it != front_.begin()) {
+        // The predecessor has strictly smaller x; if its y is no worse
+        // the new point is dominated.
+        if (std::prev(it)->second.y <= y)
+            return;
+    }
+    if (it != front_.end() && it->first == x) {
+        Node &node = it->second;
+        if (node.y < y || (node.y == y && node.values <= values))
+            return; // the incumbent at this x is no worse
+        node.y = y;
+        node.values = values;
+        ++it;
+    } else {
+        it = std::next(front_.emplace_hint(it, x, Node{y, values}));
+    }
+    // Successors have strictly larger x; any with y >= the new point's
+    // is now dominated.
+    while (it != front_.end() && it->second.y >= y)
+        it = front_.erase(it);
+}
+
+void
+ParetoFront::merge(const ParetoFront &other)
+{
+    for (const auto &[x, node] : other.front_)
+        add(node.values, x, node.y);
+}
+
+std::vector<FrontierEntry>
+ParetoFront::entries() const
+{
+    std::vector<FrontierEntry> out;
+    out.reserve(front_.size());
+    for (const auto &[x, node] : front_)
+        out.push_back({node.values, x, node.y});
+    return out;
+}
+
+bool
+TopK::less(const TopEntry &a, const TopEntry &b)
+{
+    if (a.value != b.value)
+        return a.value < b.value;
+    return a.values < b.values;
+}
+
+TopK::TopK(std::size_t k) : k_(k)
+{
+    heap_.reserve(k);
+}
+
+void
+TopK::add(const PointValues &values, double value)
+{
+    ACDSE_DCHECK(std::isfinite(value),
+                 "non-finite value offered to TopK");
+    if (k_ == 0)
+        return;
+    if (heap_.size() < k_) {
+        heap_.push_back({values, value});
+        std::push_heap(heap_.begin(), heap_.end(), less);
+        return;
+    }
+    const TopEntry candidate{values, value};
+    if (!less(candidate, heap_.front()))
+        return; // worse than the current k-th best: the common case
+    std::pop_heap(heap_.begin(), heap_.end(), less);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), less);
+}
+
+void
+TopK::merge(const TopK &other)
+{
+    for (const auto &entry : other.heap_)
+        add(entry.values, entry.value);
+}
+
+std::vector<TopEntry>
+TopK::sorted() const
+{
+    std::vector<TopEntry> out = heap_;
+    std::sort(out.begin(), out.end(), less);
+    return out;
+}
+
+} // namespace acdse::explore

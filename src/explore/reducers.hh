@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Streaming reducers for the exploration engine: an exact 2-D Pareto
+ * frontier and a bounded top-k heap. Both are pure set functions of
+ * the points offered to them -- insertion order never changes the
+ * result, ties are broken by the lexicographically smallest raw value
+ * array -- so per-tile partial reductions merged in any order produce
+ * bit-identical output at any thread count (the PR 3 contract).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "arch/parameter.hh"
+
+namespace acdse::explore
+{
+
+/** Raw parameter values of one design point, in Param order. */
+using PointValues = std::array<int, kNumParams>;
+
+/** One surviving point of a 2-D frontier. */
+struct FrontierEntry
+{
+    PointValues values; //!< raw parameter values
+    double x;           //!< first objective (minimised)
+    double y;           //!< second objective (minimised)
+};
+
+/**
+ * Exact streaming 2-D Pareto frontier, both objectives minimised.
+ *
+ * The frontier is kept as a staircase ordered by strictly increasing x
+ * and strictly decreasing y. A point survives iff no other offered
+ * point is at least as good in both objectives and strictly better in
+ * one; among points with identical (x, y) the lexicographically
+ * smallest value array is kept. Insertion is O(log f) amortised in the
+ * frontier size f, which stays tiny relative to the stream.
+ */
+class ParetoFront
+{
+  public:
+    /** Offer one point. */
+    void add(const PointValues &values, double x, double y);
+
+    /** Fold another frontier in (set union of the offered points). */
+    void merge(const ParetoFront &other);
+
+    /** The surviving points, ascending in x. */
+    std::vector<FrontierEntry> entries() const;
+
+    /** Number of surviving points. */
+    std::size_t size() const { return front_.size(); }
+
+  private:
+    struct Node
+    {
+        double y;
+        PointValues values;
+    };
+
+    std::map<double, Node> front_; //!< key: x; y strictly decreasing
+};
+
+/** One scored point kept by TopK. */
+struct TopEntry
+{
+    PointValues values; //!< raw parameter values
+    double value;       //!< the metric (minimised)
+};
+
+/**
+ * The k smallest offered points under the total order
+ * (value, raw value array); a bounded max-heap, so each offer is one
+ * comparison in the common rejected case.
+ */
+class TopK
+{
+  public:
+    explicit TopK(std::size_t k);
+
+    /** Offer one point. */
+    void add(const PointValues &values, double value);
+
+    /** Fold another reducer in (k smallest of the combined stream). */
+    void merge(const TopK &other);
+
+    /** The kept points, best (smallest) first. */
+    std::vector<TopEntry> sorted() const;
+
+    /** The bound this reducer was built with. */
+    std::size_t k() const { return k_; }
+
+  private:
+    static bool less(const TopEntry &a, const TopEntry &b);
+
+    std::vector<TopEntry> heap_; //!< max-heap under less()
+    std::size_t k_;
+};
+
+} // namespace acdse::explore

@@ -1,0 +1,97 @@
+#include "explore/refine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "arch/design_space.hh"
+#include "base/check.hh"
+
+namespace acdse::explore
+{
+
+BatchScorer
+predictorScorer(const ArchitectureCentricPredictor &predictor)
+{
+    ACDSE_CHECK(predictor.ready(), "scorer over an unfitted predictor");
+    ACDSE_CHECK(predictor.featureDim() == kNumParams,
+                "predictor expects ", predictor.featureDim(),
+                " features, configurations carry ", kNumParams);
+    return [&predictor](std::span<const MicroarchConfig> configs,
+                        std::span<double> out) {
+        ACDSE_CHECK(configs.size() == out.size(),
+                    "configs/out size mismatch");
+        std::vector<double> rows(configs.size() * kNumParams);
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            configs[i].featuresInto(&rows[i * kNumParams]);
+        BatchPredictScratch scratch;
+        predictor.predictBatchFromFeatures(rows.data(), configs.size(),
+                                           out.data(), scratch);
+    };
+}
+
+std::vector<MicroarchConfig>
+validNeighbours(const MicroarchConfig &config)
+{
+    std::vector<MicroarchConfig> neighbours;
+    for (const auto &spec : paramSpecs()) {
+        const std::size_t idx = spec.indexOf(config.get(spec.id));
+        for (int direction : {-1, +1}) {
+            const std::ptrdiff_t next =
+                static_cast<std::ptrdiff_t>(idx) + direction;
+            if (next < 0 ||
+                next >= static_cast<std::ptrdiff_t>(spec.count())) {
+                continue;
+            }
+            MicroarchConfig candidate = config;
+            candidate.set(spec.id,
+                          spec.values[static_cast<std::size_t>(next)]);
+            if (DesignSpace::isValid(candidate))
+                neighbours.push_back(std::move(candidate));
+        }
+    }
+    return neighbours;
+}
+
+std::vector<ScoredConfig>
+refine(const BatchScorer &score, std::span<const ScoredConfig> seeds,
+       const RefineOptions &options)
+{
+    std::vector<ScoredConfig> results;
+    for (const auto &seed : seeds) {
+        ScoredConfig current{seed.config, 0.0};
+        score(std::span<const MicroarchConfig>(&current.config, 1),
+              std::span<double>(&current.predicted, 1));
+        for (std::size_t step = 0; step < options.maxSteps; ++step) {
+            const auto neighbours = validNeighbours(current.config);
+            std::vector<double> scores(neighbours.size());
+            score(neighbours, scores);
+            ScoredConfig best = current;
+            for (std::size_t i = 0; i < neighbours.size(); ++i) {
+                if (scores[i] < best.predicted)
+                    best = {neighbours[i], scores[i]};
+            }
+            if (best.config == current.config)
+                break; // local optimum
+            current = std::move(best);
+        }
+        results.push_back(std::move(current));
+    }
+
+    // Distinct, best first; raw values break score ties so the order
+    // is independent of the seed order.
+    std::sort(results.begin(), results.end(),
+              [](const ScoredConfig &a, const ScoredConfig &b) {
+                  if (a.predicted != b.predicted)
+                      return a.predicted < b.predicted;
+                  return a.config.raw() < b.config.raw();
+              });
+    results.erase(std::unique(results.begin(), results.end(),
+                              [](const ScoredConfig &a,
+                                 const ScoredConfig &b) {
+                                  return a.config == b.config;
+                              }),
+                  results.end());
+    return results;
+}
+
+} // namespace acdse::explore

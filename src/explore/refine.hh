@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Local refinement of exploration results: greedy hill climbing over
+ * single-parameter neighbours, seeded from an explore() top-k list.
+ * The successor of the old core/search sweep -- candidates are scored
+ * through a *batch* scorer (one call per climb step over all
+ * neighbours), so a predictor-backed refinement runs on the same SIMD
+ * kernels as the streaming engine instead of the retired scalar
+ * PredictorFn path.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "explore/explorer.hh"
+
+namespace acdse::explore
+{
+
+/**
+ * Scores a batch of configurations (lower is better): fills out[i]
+ * with the score of configs[i]. Must be a pure function of the
+ * configuration so repeated scoring is consistent.
+ */
+using BatchScorer = std::function<void(std::span<const MicroarchConfig>,
+                                       std::span<double>)>;
+
+/**
+ * A BatchScorer over a fitted architecture-centric predictor, running
+ * the batched inference kernels. The returned scorer references
+ * @p predictor and must not outlive it.
+ */
+BatchScorer predictorScorer(const ArchitectureCentricPredictor &predictor);
+
+/**
+ * All single-parameter neighbours of a configuration (one step up or
+ * down each parameter's value list) that satisfy the validity rules.
+ */
+std::vector<MicroarchConfig> validNeighbours(
+    const MicroarchConfig &config);
+
+/** Options for refine(). */
+struct RefineOptions
+{
+    std::size_t maxSteps = 64; //!< per-seed greedy step budget
+};
+
+/**
+ * Greedy hill climbing from each seed: every step scores all valid
+ * neighbours in one batch call and moves to the best strict
+ * improvement, stopping at a local optimum or the step budget. Seed
+ * scores are recomputed through @p score, so seeds from any source
+ * (explore() top-k, hand-picked points) are handled uniformly.
+ * Returns the distinct climbed points, best first (ties broken by raw
+ * parameter values); deterministic for a deterministic scorer.
+ */
+std::vector<ScoredConfig> refine(const BatchScorer &score,
+                                 std::span<const ScoredConfig> seeds,
+                                 const RefineOptions &options = {});
+
+} // namespace acdse::explore

@@ -1,0 +1,106 @@
+#include "explore/subspace.hh"
+
+#include "base/check.hh"
+
+namespace acdse::explore
+{
+
+SubSpace
+SubSpace::full()
+{
+    SubSpace space;
+    for (std::size_t i = 0; i < kNumParams; ++i) {
+        const ParamSpec &spec = paramSpecs()[i];
+        space.values_[i].assign(spec.values.begin(), spec.values.end());
+    }
+    return space;
+}
+
+SubSpace
+SubSpace::strided(std::size_t stride)
+{
+    ACDSE_CHECK(stride >= 1, "stride must be positive");
+    SubSpace space;
+    for (std::size_t i = 0; i < kNumParams; ++i) {
+        const ParamSpec &spec = paramSpecs()[i];
+        for (std::size_t v = 0; v < spec.count(); v += stride)
+            space.values_[i].push_back(spec.values[v]);
+    }
+    return space;
+}
+
+void
+SubSpace::fix(Param p, int value)
+{
+    ACDSE_CHECK(paramSpec(p).contains(value), value,
+                " is not a legal value for ", paramSpec(p).name);
+    values_[static_cast<std::size_t>(p)] = {value};
+}
+
+void
+SubSpace::setValues(Param p, std::vector<int> values)
+{
+    ACDSE_CHECK(!values.empty(), "empty value subset for ",
+                paramSpec(p).name);
+    for (std::size_t v = 0; v < values.size(); ++v) {
+        ACDSE_CHECK(paramSpec(p).contains(values[v]), values[v],
+                    " is not a legal value for ", paramSpec(p).name);
+        ACDSE_CHECK(v == 0 || values[v - 1] < values[v],
+                    "value subset for ", paramSpec(p).name,
+                    " must be strictly ascending");
+    }
+    values_[static_cast<std::size_t>(p)] = std::move(values);
+}
+
+std::uint64_t
+SubSpace::rawPoints() const
+{
+    std::uint64_t total = 1;
+    for (const auto &values : values_)
+        total *= values.size();
+    return total;
+}
+
+std::uint64_t
+SubSpace::validPoints() const
+{
+    // Identical factorisation to DesignSpace::totalValidPoints(), but
+    // over the selected subsets: the constraints couple only
+    // {ROB, IQ, LSQ} and {read ports, write ports}, every other
+    // parameter contributes its subset size as a free factor.
+    const auto &rob = values(Param::RobSize);
+    const auto &iq = values(Param::IqSize);
+    const auto &lsq = values(Param::LsqSize);
+    std::uint64_t triples = 0;
+    for (int rob_v : rob) {
+        std::uint64_t iq_count = 0;
+        for (int iq_v : iq)
+            iq_count += iq_v <= rob_v;
+        std::uint64_t lsq_count = 0;
+        for (int lsq_v : lsq)
+            lsq_count += lsq_v <= rob_v;
+        triples += iq_count * lsq_count;
+    }
+
+    std::uint64_t port_pairs = 0;
+    for (int rd_v : values(Param::RfReadPorts))
+        for (int wr_v : values(Param::RfWritePorts))
+            port_pairs += wr_v <= rd_v;
+
+    std::uint64_t rest = 1;
+    for (std::size_t i = 0; i < kNumParams; ++i) {
+        switch (static_cast<Param>(i)) {
+          case Param::RobSize:
+          case Param::IqSize:
+          case Param::LsqSize:
+          case Param::RfReadPorts:
+          case Param::RfWritePorts:
+            break;
+          default:
+            rest *= values_[i].size();
+        }
+    }
+    return triples * port_pairs * rest;
+}
+
+} // namespace acdse::explore

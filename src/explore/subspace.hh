@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Rectangular sub-grids of the paper's 13-parameter design space.
+ *
+ * A SubSpace selects, for every parameter, an ascending subset of its
+ * Table-1 values. The exploration engine enumerates or samples the
+ * cross product of those subsets; the validity rules of DesignSpace
+ * (IQ/LSQ bounded by ROB, write ports bounded by read ports) are
+ * applied on top. validPoints() counts the constrained grid exactly
+ * with the same coupling factorisation DesignSpace::totalValidPoints()
+ * uses, so exhaustive enumeration can be cross-checked point-for-point
+ * on reduced grids before trusting the same machinery on the full
+ * ~18-billion-point space.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/parameter.hh"
+
+namespace acdse::explore
+{
+
+/** An ascending subset of legal values for each of the 13 parameters. */
+class SubSpace
+{
+  public:
+    /** The full Table-1 grid: every legal value of every parameter. */
+    static SubSpace full();
+
+    /**
+     * A coarsened grid keeping every @p stride-th value of each
+     * parameter (the first value is always kept). stride 1 is full().
+     */
+    static SubSpace strided(std::size_t stride);
+
+    /** Pin one parameter to a single legal value. */
+    void fix(Param p, int value);
+
+    /** Replace one parameter's subset (ascending, legal, non-empty). */
+    void setValues(Param p, std::vector<int> values);
+
+    /** The selected values of one parameter, ascending. */
+    const std::vector<int> &values(Param p) const
+    {
+        return values_[static_cast<std::size_t>(p)];
+    }
+
+    /** Points in the raw cross product of the selected subsets. */
+    std::uint64_t rawPoints() const;
+
+    /** Exact number of raw points satisfying DesignSpace validity. */
+    std::uint64_t validPoints() const;
+
+  private:
+    SubSpace() = default;
+
+    std::array<std::vector<int>, kNumParams> values_;
+};
+
+} // namespace acdse::explore

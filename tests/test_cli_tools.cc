@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -237,6 +238,115 @@ TEST(CliServe, RejectsUnknownFlagAndMissingModel)
                            " --model x.acdse --stats-every 2")
                   .exitCode,
               1);
+}
+
+TEST(CliExplore, ExploresArtifactAndWritesCsv)
+{
+    const fs::path dir = freshDir("acdse_cli_explore");
+    const RunResult trained = run(dir, trainCmd("--out model.acdse"));
+    ASSERT_EQ(trained.exitCode, 0) << trained.output;
+
+    // A small sampled exploration; results must not depend on the
+    // thread count, so run it at 1 and 2 threads and compare bytes.
+    const std::string explore_cmd =
+        std::string(ACDSE_TOOL_EXPLORE) +
+        " --model model.acdse --samples 3000 --topk 4 --seed 9";
+    const RunResult explored =
+        run(dir, explore_cmd + " --threads 1 --stats-out stats.json");
+    ASSERT_EQ(explored.exitCode, 0) << explored.output;
+    const RunResult explored2 =
+        run(dir, explore_cmd + " --threads 2 --frontier-out f2.csv"
+                               " --topk-out t2.csv");
+    ASSERT_EQ(explored2.exitCode, 0) << explored2.output;
+
+    auto slurp = [&](const char *name) {
+        std::ifstream in(dir / name);
+        EXPECT_TRUE(in.good()) << name;
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    };
+    const std::string frontier = slurp("frontier.csv");
+    EXPECT_TRUE(frontier.starts_with(
+        "width,rob,iq,lsq,rf,rfrd,rfwr,bpred,btb,br,il1,dl1,l2,"
+        "cycles,energy"))
+        << frontier.substr(0, 120);
+    EXPECT_EQ(frontier, slurp("f2.csv"));
+    const std::string topk = slurp("topk.csv");
+    EXPECT_TRUE(topk.starts_with("metric,rank,width"))
+        << topk.substr(0, 120);
+    EXPECT_EQ(topk, slurp("t2.csv"));
+    // Default --metrics cycles,energy at --topk 4: header + 8 rows.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(topk.begin(), topk.end(), '\n')),
+              9u);
+
+    const testjson::Value doc = parseFile(dir / "stats.json");
+    EXPECT_EQ(doc.at("schema").asString(), "acdse-stats-v1");
+    if (obs::kEnabled) {
+        EXPECT_EQ(doc.at("counters")
+                      .at("explore/points-predicted")
+                      .asNumber(),
+                  3000.0);
+        EXPECT_GE(doc.at("stages").at("explore/tile").at("count")
+                      .asNumber(),
+                  1.0);
+        EXPECT_GE(doc.at("stages").at("explore/reduce").at("count")
+                      .asNumber(),
+                  1.0);
+    }
+}
+
+TEST(CliExplore, RefinedEnumerationOfReducedGrid)
+{
+    const fs::path dir = freshDir("acdse_cli_explore_enum");
+    const RunResult trained = run(dir, trainCmd("--out model.acdse"));
+    ASSERT_EQ(trained.exitCode, 0) << trained.output;
+
+    // Stride 4 + pins keeps the grid tiny; --refine rewrites top-k.
+    const RunResult explored = run(
+        dir, std::string(ACDSE_TOOL_EXPLORE) +
+                 " --model model.acdse --mode enumerate --stride 4"
+                 " --fix width=4 --fix l2=1024 --metrics cycles"
+                 " --pareto cycles,cycles --topk 3 --refine"
+                 " --threads 1");
+    ASSERT_EQ(explored.exitCode, 0) << explored.output;
+    EXPECT_TRUE(fs::exists(dir / "frontier.csv"));
+    EXPECT_TRUE(fs::exists(dir / "topk.csv"));
+    EXPECT_NE(explored.output.find("(refined)"), std::string::npos)
+        << explored.output;
+}
+
+TEST(CliExplore, RejectsBadFlagsAndValues)
+{
+    const fs::path dir = freshDir("acdse_cli_explore_badflag");
+    // usage() paths exit 2: unknown flag, missing --model.
+    EXPECT_EQ(run(dir, std::string(ACDSE_TOOL_EXPLORE) + " --bogus")
+                  .exitCode,
+              2);
+    EXPECT_EQ(run(dir, std::string(ACDSE_TOOL_EXPLORE)).exitCode, 2);
+    // fatal() paths exit 1: bad mode, bad metric, illegal --fix value,
+    // Pareto objective not among the scored metrics.
+    const std::string base =
+        std::string(ACDSE_TOOL_EXPLORE) + " --model x.acdse";
+    EXPECT_EQ(run(dir, base + " --mode sideways").exitCode, 1);
+    EXPECT_EQ(run(dir, base + " --metrics watts").exitCode, 1);
+    EXPECT_EQ(run(dir, base + " --fix width=5").exitCode, 1);
+    EXPECT_EQ(run(dir, base + " --metrics ed,edd").exitCode, 1);
+}
+
+TEST(CliExplore, RejectsCorruptArtifact)
+{
+    const fs::path dir = freshDir("acdse_cli_explore_corrupt");
+    {
+        std::ofstream bad(dir / "corrupt.acdse");
+        bad << "this is not an artifact";
+    }
+    const RunResult result =
+        run(dir, std::string(ACDSE_TOOL_EXPLORE) +
+                     " --model corrupt.acdse --samples 10");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("fatal"), std::string::npos);
 }
 
 TEST(CliServe, RejectsCorruptArtifact)

@@ -1,20 +1,27 @@
 /**
  * @file
- * Unit tests for predictor-guided design-space search.
+ * Unit tests for the refinement pass (explore/refine.hh) -- the
+ * successor of the retired core/search scalar sweep. Hill climbing is
+ * exercised through analytic batch scorers with known optima; the
+ * predictor-backed scorer is covered in test_explore.cc.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "arch/design_space.hh"
-#include "core/search.hh"
+#include "explore/refine.hh"
 
 namespace acdse
 {
 namespace
 {
+
+using explore::BatchScorer;
+using explore::ScoredConfig;
+using explore::validNeighbours;
 
 /** A smooth objective with a known optimum (max width, max ROB...). */
 double
@@ -26,7 +33,30 @@ knownObjective(const MicroarchConfig &config)
            300.0 / std::log2(static_cast<double>(config.bpredEntries()));
 }
 
-TEST(Search, NeighboursDifferInOneParameter)
+/** The analytic objective as a batch scorer. */
+BatchScorer
+knownScorer()
+{
+    return [](std::span<const MicroarchConfig> configs,
+              std::span<double> out) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            out[i] = knownObjective(configs[i]);
+    };
+}
+
+/** Seeds from a deterministic sample, with scores left unset (the
+ * refinement recomputes them through the scorer). */
+std::vector<ScoredConfig>
+sampledSeeds(std::size_t count, std::uint64_t seed)
+{
+    std::vector<ScoredConfig> seeds;
+    for (const auto &config :
+         DesignSpace::sampleValidConfigs(count, seed))
+        seeds.push_back({config, 0.0});
+    return seeds;
+}
+
+TEST(Refine, NeighboursDifferInOneParameter)
 {
     const MicroarchConfig base = DesignSpace::baseline();
     const auto neighbours = validNeighbours(base);
@@ -40,7 +70,7 @@ TEST(Search, NeighboursDifferInOneParameter)
     }
 }
 
-TEST(Search, NeighboursRespectValueBounds)
+TEST(Refine, NeighboursRespectValueBounds)
 {
     // A corner configuration (everything at minimum) has only upward
     // neighbours.
@@ -55,12 +85,10 @@ TEST(Search, NeighboursRespectValueBounds)
     }
 }
 
-TEST(Search, FindsKnownOptimumRegion)
+TEST(Refine, FindsKnownOptimumRegion)
 {
-    SearchOptions options;
-    options.sweepSize = 512;
-    options.keepTop = 4;
-    const auto best = findBestPredicted(knownObjective, options);
+    const auto best =
+        explore::refine(knownScorer(), sampledSeeds(4, 0x5eed));
     ASSERT_FALSE(best.empty());
     // Hill climbing on a monotone objective must land on the corner.
     EXPECT_EQ(best.front().config.width(), 8);
@@ -68,68 +96,49 @@ TEST(Search, FindsKnownOptimumRegion)
     EXPECT_EQ(best.front().config.get(Param::L2Size), 4096);
 }
 
-TEST(Search, ResultsSortedAndDistinct)
+TEST(Refine, ResultsSortedAndDistinct)
 {
-    SearchOptions options;
-    options.sweepSize = 256;
-    options.keepTop = 8;
-    const auto best = findBestPredicted(knownObjective, options);
+    const auto best =
+        explore::refine(knownScorer(), sampledSeeds(8, 0x5eed));
+    ASSERT_FALSE(best.empty());
     for (std::size_t i = 1; i < best.size(); ++i) {
         EXPECT_LE(best[i - 1].predicted, best[i].predicted);
         EXPECT_NE(best[i - 1].config.key(), best[i].config.key());
     }
 }
 
-TEST(Search, ClimbingImprovesOnSweep)
+TEST(Refine, ClimbingImprovesOnSeeds)
 {
-    // The best climbed score can never be worse than the best sweep
-    // score (climbing starts from it).
-    SearchOptions options;
-    options.sweepSize = 128;
-    options.keepTop = 2;
-    options.maxClimbSteps = 0; // sweep only
-    const auto sweep_only = findBestPredicted(knownObjective, options);
-    options.maxClimbSteps = 64;
-    const auto climbed = findBestPredicted(knownObjective, options);
-    EXPECT_LE(climbed.front().predicted, sweep_only.front().predicted);
+    // The best climbed score can never be worse than any seed's own
+    // score (climbing starts there and only moves on strict
+    // improvement).
+    const auto seeds = sampledSeeds(4, 0xc11fb);
+    explore::RefineOptions options;
+    options.maxSteps = 0; // scoring only, no climbing
+    const auto unclimbed =
+        explore::refine(knownScorer(), seeds, options);
+    options.maxSteps = 64;
+    const auto climbed = explore::refine(knownScorer(), seeds, options);
+    ASSERT_FALSE(unclimbed.empty());
+    ASSERT_FALSE(climbed.empty());
+    EXPECT_LE(climbed.front().predicted, unclimbed.front().predicted);
+    // With no steps the result is exactly the scored seeds.
+    EXPECT_EQ(unclimbed.size(), seeds.size());
+    for (const auto &entry : unclimbed)
+        EXPECT_EQ(entry.predicted, knownObjective(entry.config));
 }
 
-TEST(Search, DeterministicForFixedSeed)
+TEST(Refine, SeedOrderDoesNotChangeResult)
 {
-    SearchOptions options;
-    options.sweepSize = 128;
-    const auto a = findBestPredicted(knownObjective, options);
-    const auto b = findBestPredicted(knownObjective, options);
-    ASSERT_EQ(a.size(), b.size());
-    EXPECT_EQ(a.front().config, b.front().config);
-}
-
-TEST(Search, ParetoFrontierIsNonDominated)
-{
-    // Two conflicting objectives: performance wants width, "energy"
-    // penalises it.
-    auto perf = [](const MicroarchConfig &c) {
-        return 100.0 / c.width() + 2000.0 / c.robSize();
-    };
-    auto energy = [](const MicroarchConfig &c) {
-        return 10.0 * c.width() +
-               0.001 * static_cast<double>(c.l2Bytes()) / 1024.0;
-    };
-    const auto frontier = predictedParetoFrontier(perf, energy, 1024);
-    ASSERT_GE(frontier.size(), 2u);
-    // Along the frontier, objective A rises implies B falls.
-    double prev_a = -std::numeric_limits<double>::infinity();
-    double prev_b = std::numeric_limits<double>::infinity();
-    for (const auto &config : frontier) {
-        const double a = perf(config);
-        const double b = energy(config);
-        EXPECT_GE(a, prev_a);
-        EXPECT_LT(b, prev_b);
-        prev_a = a;
-        prev_b = b;
+    auto seeds = sampledSeeds(6, 0xabc);
+    const auto forward = explore::refine(knownScorer(), seeds);
+    std::reverse(seeds.begin(), seeds.end());
+    const auto backward = explore::refine(knownScorer(), seeds);
+    ASSERT_EQ(forward.size(), backward.size());
+    for (std::size_t i = 0; i < forward.size(); ++i) {
+        EXPECT_EQ(forward[i].config, backward[i].config);
+        EXPECT_EQ(forward[i].predicted, backward[i].predicted);
     }
-    // The extremes of the frontier differ in width.
-    EXPECT_GT(frontier.front().width(), frontier.back().width());
 }
 
 } // namespace

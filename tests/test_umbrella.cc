@@ -37,15 +37,19 @@ TEST(Umbrella, MinimalEndToEndThroughPublicApi)
     model.train(configs, values);
     EXPECT_GT(model.predict(baseline), 0.0);
 
-    // Search over the predictor.
-    SearchOptions options;
-    options.sweepSize = 64;
-    options.keepTop = 2;
-    options.maxClimbSteps = 4;
-    const auto found = findBestPredicted(
-        [&](const MicroarchConfig &c) { return model.predict(c); },
-        options);
+    // Refinement over the predictor through the explore layer.
+    const explore::BatchScorer scorer =
+        [&](std::span<const MicroarchConfig> configs,
+            std::span<double> out) {
+            for (std::size_t i = 0; i < configs.size(); ++i)
+                out[i] = model.predict(configs[i]);
+        };
+    const std::vector<explore::ScoredConfig> seeds{{baseline, 0.0}};
+    explore::RefineOptions refine_options;
+    refine_options.maxSteps = 4;
+    const auto found = explore::refine(scorer, seeds, refine_options);
     EXPECT_FALSE(found.empty());
+    EXPECT_LE(found.front().predicted, model.predict(baseline));
 }
 
 TEST(Umbrella, MetricsAndStatsAreVisible)

@@ -5,7 +5,8 @@ more than ``tolerance`` below its checked-in baseline floor.
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
         [--train BENCH_train.json] [--serve BENCH_serve.json] \
-        [--predict-batch BENCH_predict_batch.json]
+        [--predict-batch BENCH_predict_batch.json] \
+        [--explore BENCH_explore.json]
 
 ``bench/baseline.json`` holds conservative *floors*, not point
 measurements::
@@ -91,6 +92,7 @@ def main():
     parser.add_argument("--serve", default="BENCH_serve.json")
     parser.add_argument("--predict-batch",
                         default="BENCH_predict_batch.json")
+    parser.add_argument("--explore", default="BENCH_explore.json")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -104,6 +106,8 @@ def main():
                             rows)
     failures += check_bench("predict_batch", baseline,
                             args.predict_batch, tolerance, rows)
+    failures += check_bench("explore", baseline, args.explore,
+                            tolerance, rows)
 
     header = ("metric", "baseline floor", "measured", "status")
     widths = [max(len(str(row[i])) for row in rows + [header])
