@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Compile-time lock discipline: Clang capability annotations and the
+ * annotated mutex wrappers every subsystem locks through.
+ *
+ * Clang's thread-safety analysis (-Wthread-safety) proves, on every
+ * build, that state declared ACDSE_GUARDED_BY(m) is only touched with
+ * m held, that functions declared ACDSE_REQUIRES(m) are only called
+ * with m held, and that shared (reader) holds are never used to
+ * write -- for every path, not just the interleavings a TSan run
+ * happens to execute. TSan remains the dynamic complement (it sees
+ * atomics, lock-free code and wrong *orderings*; the analysis sees
+ * neither) -- see DESIGN.md "Static vs dynamic race coverage".
+ *
+ * Rules:
+ *
+ *  - No raw std::mutex / std::shared_mutex / std::condition_variable
+ *    outside this header (lint rule acdse-raw-mutex). The std types
+ *    carry no capability attributes, so locking through them is
+ *    invisible to the analysis.
+ *
+ *  - Annotate what the mutex protects, not just the mutex:
+ *    `std::deque<Task> queue_ ACDSE_GUARDED_BY(mutex_);`. An
+ *    unannotated member is unproven, not safe.
+ *
+ *  - Lock with the scoped types (MutexLock, ReaderLock, WriterLock);
+ *    call CondVar::wait(mutex) in a while loop around the predicate
+ *    instead of passing a predicate lambda -- the analysis does not
+ *    propagate lock state into lambda bodies, so a predicate lambda
+ *    reading guarded state would warn spuriously.
+ *
+ * Off Clang (GCC builds) every macro expands to nothing and the
+ * wrappers compile to the exact std primitives they hold; the
+ * negative-compile ctest suite (tests/negative_compile) proves the
+ * Clang gate actually fires.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define ACDSE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ACDSE_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define ACDSE_CAPABILITY(x) ACDSE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define ACDSE_SCOPED_CAPABILITY ACDSE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be read/written with the capability held. */
+#define ACDSE_GUARDED_BY(x) ACDSE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be touched with the capability held. */
+#define ACDSE_PT_GUARDED_BY(x) ACDSE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the capability exclusively. */
+#define ACDSE_REQUIRES(...) \
+    ACDSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared. */
+#define ACDSE_REQUIRES_SHARED(...) \
+    ACDSE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability exclusively (and does not release). */
+#define ACDSE_ACQUIRE(...) \
+    ACDSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared. */
+#define ACDSE_ACQUIRE_SHARED(...) \
+    ACDSE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability (exclusive or shared). */
+#define ACDSE_RELEASE(...) \
+    ACDSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function releases a shared hold of the capability. */
+#define ACDSE_RELEASE_SHARED(...) \
+    ACDSE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ... (first arg). */
+#define ACDSE_TRY_ACQUIRE(...) \
+    ACDSE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock / reentrancy guard). */
+#define ACDSE_EXCLUDES(...) \
+    ACDSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define ACDSE_RETURN_CAPABILITY(x) \
+    ACDSE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis of one function (comment why). */
+#define ACDSE_NO_THREAD_SAFETY_ANALYSIS \
+    ACDSE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace acdse
+{
+
+/**
+ * An annotated exclusive mutex. Prefer the scoped MutexLock; the bare
+ * lock()/unlock() members exist for the RAII types and the rare
+ * split-scope pattern, and carry the acquire/release annotations so
+ * the analysis tracks them wherever they are called.
+ */
+class ACDSE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACDSE_ACQUIRE() { raw_.lock(); }
+    void unlock() ACDSE_RELEASE() { raw_.unlock(); }
+    bool tryLock() ACDSE_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex raw_;
+};
+
+/**
+ * An annotated reader/writer mutex: exclusive for writers
+ * (WriterLock), shared for readers (ReaderLock).
+ */
+class ACDSE_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() ACDSE_ACQUIRE() { raw_.lock(); }
+    void unlock() ACDSE_RELEASE() { raw_.unlock(); }
+    void lockShared() ACDSE_ACQUIRE_SHARED() { raw_.lock_shared(); }
+    void unlockShared() ACDSE_RELEASE_SHARED()
+    {
+        raw_.unlock_shared();
+    }
+
+  private:
+    std::shared_mutex raw_;
+};
+
+/** RAII exclusive hold of a Mutex for the enclosing scope. */
+class ACDSE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACDSE_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() ACDSE_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/** RAII exclusive (writer) hold of a SharedMutex. */
+class ACDSE_SCOPED_CAPABILITY WriterLock
+{
+  public:
+    explicit WriterLock(SharedMutex &mutex) ACDSE_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~WriterLock() ACDSE_RELEASE() { mutex_.unlock(); }
+
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mutex_;
+};
+
+/** RAII shared (reader) hold of a SharedMutex. */
+class ACDSE_SCOPED_CAPABILITY ReaderLock
+{
+  public:
+    explicit ReaderLock(SharedMutex &mutex) ACDSE_ACQUIRE_SHARED(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lockShared();
+    }
+
+    ~ReaderLock() ACDSE_RELEASE() { mutex_.unlockShared(); }
+
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mutex_;
+};
+
+/**
+ * A condition variable bound to Mutex. wait() must be called with the
+ * mutex held (enforced by ACDSE_REQUIRES) and returns with it held
+ * again; callers loop on their predicate:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)
+ *         cv_.wait(mutex_);
+ *
+ * There is deliberately no predicate-taking overload: the thread-
+ * safety analysis does not see through lambda boundaries, so a
+ * predicate lambda reading ACDSE_GUARDED_BY state would warn.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mutex, sleep, and reacquire it. */
+    void wait(Mutex &mutex) ACDSE_REQUIRES(mutex)
+    {
+        // The caller already holds mutex (typically via MutexLock), so
+        // adopt it for the duration of the wait and release the
+        // unique_lock before it can unlock on destruction.
+        std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+        cv_.wait(lock);
+        lock.release();
+    }
+
+    void notifyOne() noexcept { cv_.notify_one(); }
+    void notifyAll() noexcept { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace acdse

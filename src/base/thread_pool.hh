@@ -42,17 +42,17 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "base/sync.hh"
 
 namespace acdse
 {
@@ -156,10 +156,10 @@ class ThreadPool
     static void drain(ForJob &job);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable workCv_;
-    std::deque<Task> queue_;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar workCv_;
+    std::deque<Task> queue_ ACDSE_GUARDED_BY(mutex_);
+    bool stop_ ACDSE_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace acdse

@@ -146,13 +146,13 @@ Evaluator::programModel(std::size_t programIdx, Metric metric,
 {
     const ModelKey key = std::make_tuple(programIdx, metric, t, seed);
     {
-        std::lock_guard<std::mutex> lock(cacheMutex_);
+        MutexLock lock(cacheMutex_);
         auto it = modelCache_.find(key);
         if (it != modelCache_.end())
             return it->second;
     }
     auto model = trainProgramModel(programIdx, metric, t, seed);
-    std::lock_guard<std::mutex> lock(cacheMutex_);
+    MutexLock lock(cacheMutex_);
     // Two folds can race to train the same model; both train it
     // identically (deterministic derivation), so keeping whichever
     // inserted first changes nothing.
@@ -166,7 +166,7 @@ Evaluator::warmProgramModels(const std::vector<std::size_t> &programs,
 {
     std::vector<std::size_t> missing;
     {
-        std::lock_guard<std::mutex> lock(cacheMutex_);
+        MutexLock lock(cacheMutex_);
         for (std::size_t p : programs) {
             if (!modelCache_.contains(
                     std::make_tuple(p, metric, t, seed)))
@@ -184,7 +184,7 @@ Evaluator::warmProgramModels(const std::vector<std::size_t> &programs,
     pool().parallelFor(0, missing.size(), [&](std::size_t i) {
         models[i] = trainProgramModel(missing[i], metric, t, seed);
     });
-    std::lock_guard<std::mutex> lock(cacheMutex_);
+    MutexLock lock(cacheMutex_);
     for (std::size_t i = 0; i < missing.size(); ++i) {
         modelCache_.emplace(std::make_tuple(missing[i], metric, t, seed),
                             std::move(models[i]));

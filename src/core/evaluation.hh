@@ -9,11 +9,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "base/statistics.hh"
+#include "base/sync.hh"
 #include "core/architecture_centric_predictor.hh"
 #include "core/campaign.hh"
 
@@ -158,10 +158,10 @@ class Evaluator
     // Guards modelCache_: sweep folds running on pool workers hit the
     // cache concurrently (warmProgramModels makes those reads, but a
     // cold fold may still insert).
-    std::mutex cacheMutex_;
+    Mutex cacheMutex_;
     std::map<ModelKey,
              std::shared_ptr<const ProgramSpecificPredictor>>
-        modelCache_;
+        modelCache_ ACDSE_GUARDED_BY(cacheMutex_);
 };
 
 /**

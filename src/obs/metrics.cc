@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "base/check.hh"
 
@@ -223,7 +222,8 @@ Registry &
 Registry::global()
 {
     // Leaked on purpose: see the file comment.
-    static Registry *registry = new Registry;
+    static Registry *registry = // NOLINT(acdse-local-static)
+        new Registry;
     return *registry;
 }
 
@@ -249,12 +249,12 @@ Counter &
 Registry::counter(std::string_view name)
 {
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        ReaderLock lock(mutex_);
         if (const auto it = counters_.find(name);
             it != counters_.end())
             return *it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     checkUnique(name, 0);
     auto &slot = counters_[std::string(name)];
     if (!slot)
@@ -266,11 +266,11 @@ Gauge &
 Registry::gauge(std::string_view name)
 {
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        ReaderLock lock(mutex_);
         if (const auto it = gauges_.find(name); it != gauges_.end())
             return *it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     checkUnique(name, 1);
     auto &slot = gauges_[std::string(name)];
     if (!slot)
@@ -282,12 +282,12 @@ Histogram &
 Registry::histogram(std::string_view name)
 {
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        ReaderLock lock(mutex_);
         if (const auto it = histograms_.find(name);
             it != histograms_.end())
             return *it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     checkUnique(name, 2);
     auto &slot = histograms_[std::string(name)];
     if (!slot)
@@ -299,11 +299,11 @@ Stage &
 Registry::stage(std::string_view path)
 {
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        ReaderLock lock(mutex_);
         if (const auto it = stages_.find(path); it != stages_.end())
             return *it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     checkUnique(path, 3);
     auto &slot = stages_[std::string(path)];
     if (!slot)
@@ -314,7 +314,7 @@ Registry::stage(std::string_view path)
 Snapshot
 Registry::snapshot() const
 {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     Snapshot out;
     for (const auto &[name, counter] : counters_)
         out.counters[name] = counter->value();
@@ -336,7 +336,7 @@ Registry::snapshot() const
 void
 Registry::reset()
 {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     for (const auto &[name, counter] : counters_)
         counter->reset();
     for (const auto &[name, gauge] : gauges_)

@@ -39,9 +39,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
+
+#include "base/sync.hh"
 
 namespace acdse::obs
 {
@@ -310,15 +311,18 @@ class Registry
 
   private:
     /** Panics if @p name is already interned with another kind. */
-    void checkUnique(std::string_view name, int kind) const;
+    void checkUnique(std::string_view name, int kind) const
+        ACDSE_REQUIRES(mutex_);
 
-    mutable std::shared_mutex mutex_;
+    mutable SharedMutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
-        counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+        counters_ ACDSE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        ACDSE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histograms_;
-    std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages_;
+        histograms_ ACDSE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages_
+        ACDSE_GUARDED_BY(mutex_);
 };
 
 } // namespace acdse::obs

@@ -106,7 +106,7 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
         // queueing latency: concurrent callers serialise here.
         const std::uint64_t lockStart =
             obs::kEnabled ? obs::nowNs() : 0;
-        std::lock_guard<std::mutex> batch_lock(batchMutex_);
+        MutexLock batch_lock(batchMutex_);
         if constexpr (obs::kEnabled)
             queueWaitNs_.record(obs::nowNs() - lockStart);
         const std::size_t num_chunks =

@@ -31,11 +31,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "arch/microarch_config.hh"
+#include "base/sync.hh"
 #include "base/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "serve/model_store.hh"
@@ -158,10 +158,13 @@ class PredictionService
 
     /**
      * Predict every artifact metric for a batch of query points.
-     * Returns one row per query, in order.
+     * Returns one row per query, in order. Not reentrant from inside
+     * its own batch (ACDSE_EXCLUDES: callers must not already hold
+     * the batch lock).
      */
     std::vector<PredictionRow> predict(
-        const std::vector<MicroarchConfig> &queries);
+        const std::vector<MicroarchConfig> &queries)
+        ACDSE_EXCLUDES(batchMutex_);
 
     /** Predict a single point (counts as a batch of one). */
     PredictionRow predictOne(const MicroarchConfig &query);
@@ -197,7 +200,7 @@ class PredictionService
     ThreadPool pool_;
 
     // Serialises public predict() callers.
-    std::mutex batchMutex_;
+    Mutex batchMutex_;
 
     // Serving metrics: a private registry (declared before the
     // references into it) so per-service stats stay isolated from the

@@ -1,0 +1,35 @@
+// Negative-compile case: calling a function annotated
+// ACDSE_REQUIRES(mutex) without holding the mutex MUST be rejected by
+// -Wthread-safety -Werror.
+
+#include "base/sync.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    long balanceLocked() const ACDSE_REQUIRES(mutex_)
+    {
+        return balance_;
+    }
+
+    long readRacy() const
+    {
+        return balanceLocked(); // caller does not hold mutex_
+    }
+
+  private:
+    mutable acdse::Mutex mutex_;
+    long balance_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+long
+negativeCompileMissingRequires()
+{
+    const Account account;
+    return account.readRacy();
+}

@@ -1,0 +1,31 @@
+// Negative-compile case: writing guarded state while holding only a
+// shared (reader) lock MUST be rejected -- readers may run
+// concurrently, so a write under a shared hold is still a race.
+
+#include "base/sync.hh"
+
+namespace
+{
+
+class Stats
+{
+  public:
+    void bumpUnderReaderLock()
+    {
+        acdse::ReaderLock lock(mutex_); // shared hold only
+        ++events_;                      // write needs exclusive
+    }
+
+  private:
+    acdse::SharedMutex mutex_;
+    long events_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+void
+negativeCompileSharedWrite()
+{
+    Stats stats;
+    stats.bumpUnderReaderLock();
+}

@@ -1,0 +1,31 @@
+// Negative-compile case: writing ACDSE_GUARDED_BY state without
+// holding its mutex MUST be rejected by -Wthread-safety -Werror. The
+// harness asserts this file fails to compile with a thread-safety
+// diagnostic; if it ever compiles, the gate is dead.
+
+#include "base/sync.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    void depositRacy(long amount)
+    {
+        balance_ += amount; // no lock held: analysis must reject
+    }
+
+  private:
+    acdse::Mutex mutex_;
+    long balance_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+void
+negativeCompileUnguardedWrite()
+{
+    Account account;
+    account.depositRacy(1);
+}

@@ -1,0 +1,95 @@
+// Negative-compile control case: fully disciplined locking through the
+// base/sync.hh wrappers. Must compile cleanly under
+// -Wthread-safety -Wthread-safety-beta -Werror -- if this one fails,
+// the harness (not the annotations under test) is broken.
+
+#include "base/sync.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    void deposit(long amount)
+    {
+        acdse::MutexLock lock(mutex_);
+        balance_ += amount;
+    }
+
+    long balanceLocked() const ACDSE_REQUIRES(mutex_)
+    {
+        return balance_;
+    }
+
+    long read()
+    {
+        acdse::MutexLock lock(mutex_);
+        return balanceLocked();
+    }
+
+  private:
+    mutable acdse::Mutex mutex_;
+    long balance_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+class Stats
+{
+  public:
+    void bump()
+    {
+        acdse::WriterLock lock(mutex_);
+        ++events_;
+    }
+
+    long events() const
+    {
+        acdse::ReaderLock lock(mutex_);
+        return events_;
+    }
+
+  private:
+    mutable acdse::SharedMutex mutex_;
+    long events_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+class Queue
+{
+  public:
+    void push()
+    {
+        acdse::MutexLock lock(mutex_);
+        ++pending_;
+        cv_.notifyOne();
+    }
+
+    void pop()
+    {
+        acdse::MutexLock lock(mutex_);
+        // Explicit predicate loop: the analysis cannot see into a
+        // predicate lambda (see base/sync.hh).
+        while (pending_ == 0)
+            cv_.wait(mutex_);
+        --pending_;
+    }
+
+  private:
+    acdse::Mutex mutex_;
+    acdse::CondVar cv_;
+    long pending_ ACDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+negativeCompileControlCase()
+{
+    Account account;
+    account.deposit(1);
+    Stats stats;
+    stats.bump();
+    Queue queue;
+    queue.push();
+    queue.pop();
+    return static_cast<int>(account.read() + stats.events());
+}

@@ -1,0 +1,46 @@
+# ctest driver for the negative-compile suite (see the sibling *.cc
+# snippets): proves the -Wthread-safety gate actually fires.
+#
+#   cmake -DCXX=<clang++> -DSNIPPET=<file.cc> -DINCLUDE_DIR=<repo>/src
+#         -DEXPECT=pass|fail -P run_negative_compile.cmake
+#
+# EXPECT=fail snippets must be rejected *with a thread-safety
+# diagnostic* -- a snippet that fails for some unrelated reason (a
+# typo, a missing include) would otherwise keep the test green while
+# proving nothing about the gate.
+
+foreach(required CXX SNIPPET INCLUDE_DIR EXPECT)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "run_negative_compile.cmake: ${required} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CXX} -std=c++20 -fsyntax-only
+            -Wthread-safety -Wthread-safety-beta -Werror
+            -I${INCLUDE_DIR} ${SNIPPET}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE compile_out
+    ERROR_VARIABLE compile_err)
+
+if(EXPECT STREQUAL "pass")
+    if(NOT exit_code EQUAL 0)
+        message(FATAL_ERROR
+                "expected ${SNIPPET} to compile cleanly, got exit "
+                "${exit_code}:\n${compile_err}")
+    endif()
+elseif(EXPECT STREQUAL "fail")
+    if(exit_code EQUAL 0)
+        message(FATAL_ERROR
+                "expected ${SNIPPET} to be rejected by -Wthread-safety, "
+                "but it compiled cleanly: the gate is not firing")
+    endif()
+    if(NOT compile_err MATCHES "Wthread-safety")
+        message(FATAL_ERROR
+                "${SNIPPET} failed to compile, but not with a "
+                "thread-safety diagnostic; the case proves nothing:\n"
+                "${compile_err}")
+    endif()
+else()
+    message(FATAL_ERROR "EXPECT must be pass or fail, got '${EXPECT}'")
+endif()

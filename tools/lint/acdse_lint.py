@@ -3,6 +3,26 @@
 
 Run from anywhere:  python3 tools/lint/acdse_lint.py  [--root DIR]
 
+Two engines implement the rules:
+
+  ast     AST-grounded (tools/lint/ast_engine.py): parses every
+          translation unit in build/compile_commands.json with
+          libclang, so rules see real declarations, call targets,
+          loop/lambda ancestry and macro expansions. Requires the
+          python clang bindings + a loadable libclang + a configured
+          build tree.
+
+  regex   Line-oriented patterns, no dependencies beyond python.
+          Weaker (substrings, lexical brace tracking) but always
+          available; it covers the same legacy rules and a lexical
+          approximation of acdse-raw-mutex.
+
+--engine auto (the default) uses the AST engine when it can and falls
+back to regex with a note; CI passes --require-ast so the stronger
+engine cannot silently rot. The AST engine additionally implements
+rules the regex engine cannot express at all (ref-capture writes in
+parallelFor workers, mutable local statics).
+
 Rules (suppress a single line with a trailing  // NOLINT(acdse-<rule>)):
 
   acdse-checked-parse    The C ato* family silently returns 0
@@ -32,8 +52,8 @@ Rules (suppress a single line with a trailing  // NOLINT(acdse-<rule>)):
                          reintroduce it.
 
   acdse-obs-span-in-hot-loop
-                         obs::TraceSpan construction lexically inside
-                         a for/while body in src/. Spans belong at
+                         obs::TraceSpan construction inside a
+                         for/while body in src/. Spans belong at
                          stage granularity (around a whole batch,
                          fold, or training run); a span per loop
                          iteration times the instrumentation, not the
@@ -45,8 +65,35 @@ Rules (suppress a single line with a trailing  // NOLINT(acdse-<rule>)):
                          inner loop.) Tests are exempt -- they
                          construct spans in loops to test them.
 
-Exit status: 0 when clean, 1 when any finding is reported.
-Run the embedded rule self-tests with  --self-test .
+  acdse-raw-mutex        std::mutex / std::shared_mutex /
+                         std::condition_variable declared in src/
+                         outside base/sync.hh. Locking through the
+                         raw types is invisible to Clang's
+                         -Wthread-safety analysis; use the annotated
+                         wrappers (Mutex, SharedMutex, MutexLock,
+                         ReaderLock, CondVar) so unguarded access is
+                         a compile error.
+
+  acdse-parallelfor-ref-capture   (AST engine only)
+                         A by-reference capture written directly
+                         (x = / x += / ++x) inside a lambda passed to
+                         ThreadPool::parallelFor, in src/, bench/ or
+                         tools/. Racy and order-dependent; write to an
+                         index-addressed slot (out[i] = ...) or an
+                         atomic, the project's deterministic-parallel
+                         patterns. Tests are exempt (they provoke
+                         these shapes on purpose).
+
+  acdse-local-static     (AST engine only)
+                         A mutable (non-const, non-atomic)
+                         function-local static in src/: hidden shared
+                         state that ACDSE_GUARDED_BY cannot see.
+                         Hoist it behind a sync.hh-guarded class, make
+                         it const/atomic, or NOLINT with a reason.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 when
+--require-ast (or --engine ast) is set and the AST engine is
+unavailable. Run the embedded rule self-tests with  --self-test .
 """
 
 from __future__ import annotations
@@ -59,6 +106,10 @@ from pathlib import Path
 SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
 SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
 
+# Lint fixtures are deliberately rule-violating inputs for the AST
+# engine's self-test; they are not project sources.
+FIXTURE_DIR = Path("tools/lint/fixtures")
+
 # Files allowed to do raw file writes: the atomic-write primitives
 # themselves.
 ATOMIC_WRITE_IMPLS = {
@@ -66,6 +117,10 @@ ATOMIC_WRITE_IMPLS = {
     Path("src/base/json.cc"),
     Path("src/serve/model_store.cc"),
 }
+
+# The one file allowed to name the raw standard synchronisation types:
+# the annotated wrappers that everything else must use.
+RAW_SYNC_IMPL = Path("src/base/sync.hh")
 
 NOLINT_RE = re.compile(r"NOLINT\(acdse-([a-z-]+)\)")
 
@@ -100,6 +155,25 @@ RULES = [
     ),
 ]
 
+# Rules the AST engine re-implements exactly; the lexical versions are
+# skipped while it is active so a line cannot double-report.
+AST_REPLACES = {
+    "deterministic-rng",
+    "no-assert-macro",
+    "obs-span-in-hot-loop",
+    "raw-mutex",
+}
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?)\b"
+)
+RAW_MUTEX_MESSAGE = (
+    "raw standard mutex/condition-variable type: locking through it is "
+    "invisible to -Wthread-safety; use the annotated wrappers in "
+    "base/sync.hh"
+)
+
 
 LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
 SPAN_CTOR_RE = re.compile(r"\bTraceSpan\s+\w|\bTraceSpan\s*[({]")
@@ -113,7 +187,8 @@ def find_spans_in_loops(lines: list[str]) -> list[int]:
     a loop body until its matching ``}``. Lambda bodies open plain
     (non-loop) scopes, so spans in parallelFor workers don't flag.
     Comments and string literals are stripped line-by-line first, which
-    is as much C++ parsing as a lint this size should attempt.
+    is as much C++ parsing as a lint this size should attempt. (The AST
+    engine replaces this with real loop/lambda ancestry.)
     """
     findings: list[int] = []
     loop_depths: list[int] = []  # brace depth at each open loop body
@@ -175,7 +250,7 @@ def find_spans_in_loops(lines: list[str]) -> list[int]:
     return findings
 
 
-def lint_file(root: Path, rel: Path) -> list[str]:
+def lint_file(root: Path, rel: Path, ast_active: bool = False) -> list[str]:
     findings: list[str] = []
     try:
         text = (root / rel).read_text(encoding="utf-8")
@@ -188,11 +263,16 @@ def lint_file(root: Path, rel: Path) -> list[str]:
         top in ("src", "tools", "bench", "examples")
         and rel not in ATOMIC_WRITE_IMPLS
     )
+    raw_sync_banned = (
+        not ast_active and top == "src" and rel != RAW_SYNC_IMPL
+    )
 
     for lineno, line in enumerate(lines, 1):
         suppressed = {m.group(1) for m in NOLINT_RE.finditer(line)}
 
         for name, pattern, message, _ in RULES:
+            if ast_active and name in AST_REPLACES:
+                continue
             if name in suppressed:
                 continue
             if pattern.search(line):
@@ -211,9 +291,18 @@ def lint_file(root: Path, rel: Path) -> list[str]:
                 "saveArtifact() (base/csv.hh, serve/model_store.hh)"
             )
 
+        if (
+            raw_sync_banned
+            and "raw-mutex" not in suppressed
+            and RAW_MUTEX_RE.search(line)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [acdse-raw-mutex] {RAW_MUTEX_MESSAGE}"
+            )
+
     # Hot-loop span rule: src/ only; tests construct spans in loops on
     # purpose (they are testing the spans).
-    if top == "src":
+    if top == "src" and not ast_active:
         for lineno in find_spans_in_loops(lines):
             if "obs-span-in-hot-loop" in {
                 m.group(1) for m in NOLINT_RE.finditer(lines[lineno - 1])
@@ -306,20 +395,100 @@ const obs::TraceSpan span(stage);""",
     ),
 ]
 
+# (name, pattern matches line) cases for the single-line regex rules.
+LINE_RULE_CASES = [
+    ("std::mutex member flags", RAW_MUTEX_RE,
+     "    std::mutex mutex_;", True),
+    ("std::shared_mutex flags", RAW_MUTEX_RE,
+     "    mutable std::shared_mutex mutex_;", True),
+    ("std::condition_variable flags", RAW_MUTEX_RE,
+     "    std::condition_variable cv_;", True),
+    ("unique_lock over std::mutex flags", RAW_MUTEX_RE,
+     "    std::unique_lock<std::mutex> lock(m);", True),
+    ("annotated wrapper types are clean", RAW_MUTEX_RE,
+     "    Mutex mutex_; SharedMutex rw_; CondVar cv_;", False),
+    ("atoi flags", RULES[0][1], "int v = atoi(s);", True),
+    ("parseU64 is clean", RULES[0][1],
+     "const auto v = parseU64OrDie(name, s);", False),
+    ("std::random_device flags", RULES[1][1],
+     "std::random_device rd;", True),
+]
 
-def self_test() -> int:
+
+def self_test(root: Path, require_ast: bool = False) -> int:
     failures = 0
     for name, expected, snippet in SELF_TEST_CASES:
         got = find_spans_in_loops(snippet.splitlines())
         status = "ok" if got == expected else "FAIL"
         failures += got != expected
         print(f"{status}: {name} (expected {expected}, got {got})")
+    for name, pattern, line, expected in LINE_RULE_CASES:
+        got = bool(pattern.search(line))
+        status = "ok" if got == expected else "FAIL"
+        failures += got != expected
+        print(f"{status}: {name} (expected {expected}, got {got})")
+    regex_cases = len(SELF_TEST_CASES) + len(LINE_RULE_CASES)
+
+    import ast_engine
+
+    ast_cases = 0
+    reason = ast_engine.availability()
+    if reason is None:
+        failures += ast_engine.run_self_test(root)
+        ast_cases += len(ast_engine.SELF_TEST_CASES)
+        fixture_dir = root / FIXTURE_DIR
+        for fixture in sorted(fixture_dir.glob("*.cc")):
+            ast_cases += 1
+            problems = ast_engine.check_fixture(
+                root, fixture, f"src/lint_fixtures/{fixture.name}")
+            status = "ok" if not problems else "FAIL"
+            failures += bool(problems)
+            print(f"{status}: [ast] fixture {fixture.name}")
+            for problem in problems:
+                print(f"    {problem}")
+    else:
+        message = f"AST self-test cases skipped: {reason}"
+        if require_ast:
+            print(f"FAIL: {message}")
+            failures += 1
+        else:
+            print(f"note: {message}", file=sys.stderr)
+
     print(
-        f"acdse_lint --self-test: {len(SELF_TEST_CASES)} cases, "
-        f"{failures} failure(s)",
+        f"acdse_lint --self-test: {regex_cases} regex + {ast_cases} AST "
+        f"cases, {failures} failure(s)",
         file=sys.stderr,
     )
     return 1 if failures else 0
+
+
+def resolve_compile_db(root: Path, arg: Path | None) -> Path | None:
+    """Directory containing compile_commands.json, or None."""
+    candidate = arg if arg is not None else root / "build"
+    if not candidate.is_absolute():
+        candidate = root / candidate
+    if candidate.name == "compile_commands.json":
+        candidate = candidate.parent
+    if (candidate / "compile_commands.json").is_file():
+        return candidate
+    return None
+
+
+def ast_suppressed(root: Path, rel: str, lineno: int, rule: str,
+                   cache: dict) -> bool:
+    """Apply the trailing-NOLINT convention to an AST finding."""
+    if rel not in cache:
+        try:
+            cache[rel] = (root / rel).read_text(
+                encoding="utf-8").splitlines()
+        except OSError:
+            cache[rel] = []
+    lines = cache[rel]
+    if 1 <= lineno <= len(lines):
+        return rule in {
+            m.group(1) for m in NOLINT_RE.finditer(lines[lineno - 1])
+        }
+    return False
 
 
 def main() -> int:
@@ -331,6 +500,28 @@ def main() -> int:
         help="repository root (default: inferred from this script)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "ast", "regex"),
+        default="auto",
+        help="auto: AST when libclang + compile_commands.json are "
+        "available, else regex fallback (default); ast: AST or die; "
+        "regex: lexical rules only",
+    )
+    parser.add_argument(
+        "--compile-commands",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="build directory (or compile_commands.json path) for the "
+        "AST engine; default: <root>/build",
+    )
+    parser.add_argument(
+        "--require-ast",
+        action="store_true",
+        help="exit 2 instead of falling back when the AST engine is "
+        "unavailable (CI uses this so the gate cannot silently weaken)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the embedded rule self-tests and exit",
@@ -338,7 +529,39 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.self_test:
-        return self_test()
+        return self_test(args.root,
+                         require_ast=args.require_ast
+                         or args.engine == "ast")
+
+    import ast_engine
+
+    ast_active = False
+    build_dir = None
+    if args.engine in ("auto", "ast"):
+        reason = ast_engine.availability()
+        if reason is None:
+            build_dir = resolve_compile_db(args.root,
+                                           args.compile_commands)
+            if build_dir is None:
+                reason = (
+                    "compile_commands.json not found (configure with "
+                    "`cmake -B build -S .` or pass --compile-commands)"
+                )
+        if reason is None:
+            ast_active = True
+        else:
+            if args.engine == "ast" or args.require_ast:
+                print(
+                    "acdse_lint: AST engine required but unavailable: "
+                    f"{reason}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"acdse_lint: note: falling back to regex engine "
+                f"({reason})",
+                file=sys.stderr,
+            )
 
     files: list[Path] = []
     for top in SOURCE_DIRS:
@@ -346,19 +569,33 @@ def main() -> int:
         if not base.is_dir():
             continue
         files.extend(
-            p.relative_to(args.root)
+            rel
             for p in sorted(base.rglob("*"))
             if p.suffix in SOURCE_SUFFIXES and p.is_file()
+            and not (rel := p.relative_to(args.root)).is_relative_to(
+                FIXTURE_DIR)
         )
 
     findings: list[str] = []
     for rel in files:
-        findings.extend(lint_file(args.root, rel))
+        findings.extend(lint_file(args.root, rel, ast_active=ast_active))
+
+    if ast_active:
+        analyzer = ast_engine.Analyzer(args.root)
+        analyzer.lint_compile_db(build_dir)
+        line_cache: dict = {}
+        for rel, lineno, rule, message in sorted(analyzer.findings):
+            if Path(rel).is_relative_to(FIXTURE_DIR):
+                continue
+            if ast_suppressed(args.root, rel, lineno, rule, line_cache):
+                continue
+            findings.append(f"{rel}:{lineno}: [acdse-{rule}] {message}")
 
     for finding in findings:
         print(finding)
+    engine_name = "ast+regex" if ast_active else "regex"
     print(
-        f"acdse_lint: {len(files)} files checked, "
+        f"acdse_lint [{engine_name}]: {len(files)} files checked, "
         f"{len(findings)} finding(s)",
         file=sys.stderr,
     )

@@ -1,0 +1,757 @@
+"""AST-grounded rule engine for acdse_lint, driven by libclang.
+
+Where the regex engine in acdse_lint.py pattern-matches lines, this
+engine walks real clang ASTs parsed from build/compile_commands.json
+(every translation unit with its exact compile flags), so rules see
+declarations, types, call targets, lambda captures and macro
+expansions instead of text. It implements:
+
+  - exact versions of the lexical rules that were fragile as regexes:
+    acdse-deterministic-rng (call targets and declared types, not
+    substrings), acdse-no-assert-macro (macro definitions and
+    expansions from the preprocessing record), and
+    acdse-obs-span-in-hot-loop (real loop/lambda ancestry instead of
+    brace counting);
+
+  - rules a regex cannot express at all:
+      acdse-parallelfor-ref-capture   a by-reference capture written
+                                      directly (x = / x += / ++x) inside
+                                      a lambda passed to parallelFor;
+                                      index-addressed writes (slots[i])
+                                      and atomics are the sanctioned
+                                      patterns and stay clean.
+      acdse-local-static              mutable (non-const, non-atomic)
+                                      function-local static state in
+                                      src/: hidden shared state the
+                                      thread-safety annotations cannot
+                                      guard.
+      acdse-raw-mutex                 std::mutex / std::shared_mutex /
+                                      std::condition_variable declared
+                                      in src/ outside base/sync.hh,
+                                      where locking is invisible to
+                                      -Wthread-safety.
+
+The engine degrades explicitly: availability() names what is missing
+(python bindings, a loadable libclang, compile_commands.json) and
+acdse_lint falls back to the regex engine unless --require-ast.
+
+Suppression is the same trailing  // NOLINT(acdse-<rule>)  convention,
+applied by the caller on the reported line.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from pathlib import Path
+
+try:
+    from clang import cindex
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    cindex = None
+    _IMPORT_ERROR = str(exc)
+else:
+    _IMPORT_ERROR = ""
+
+# A finding is (rel_path, line, rule, message); rule without the
+# "acdse-" prefix.
+Finding = tuple[str, int, str, str]
+
+#: Rules this engine takes over from the regex engine when active.
+AST_RULES = (
+    "deterministic-rng",
+    "no-assert-macro",
+    "obs-span-in-hot-loop",
+    "raw-mutex",
+    "parallelfor-ref-capture",
+    "local-static",
+)
+
+MESSAGES = {
+    "deterministic-rng": (
+        "non-deterministic randomness; use acdse::Rng with an "
+        "explicit seed"
+    ),
+    "no-assert-macro": (
+        "ACDSE_ASSERT is retired; use ACDSE_CHECK or ACDSE_DCHECK "
+        "from base/check.hh"
+    ),
+    "obs-span-in-hot-loop": (
+        "TraceSpan constructed inside a loop body; spans are "
+        "stage-granular -- hoist it out of the loop or record into an "
+        "obs::Histogram instead"
+    ),
+    "parallelfor-ref-capture": (
+        "by-reference capture written directly inside a parallelFor "
+        "worker; write to an index-addressed slot (out[i] = ...) or "
+        "use an atomic so parallel runs stay deterministic and "
+        "race-free"
+    ),
+    "local-static": (
+        "mutable function-local static: shared state invisible to the "
+        "thread-safety annotations; make it const/atomic, guard it in "
+        "a class behind base/sync.hh, or NOLINT with a reason"
+    ),
+    "raw-mutex": (
+        "raw standard mutex/condition-variable type: locking through "
+        "it is invisible to -Wthread-safety; use the annotated "
+        "wrappers in base/sync.hh"
+    ),
+    "ast-parse": "translation unit failed to parse",
+}
+
+RNG_CALLS = {"rand", "srand", "time"}
+MUTEX_TYPES = (
+    "std::mutex",
+    "std::shared_mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+    "std::condition_variable",
+)
+SYNC_HEADER = ("src", "base", "sync.hh")
+
+_availability: str | None = None
+_availability_checked = False
+
+
+def availability() -> str | None:
+    """None when the engine can run, else a human-readable reason."""
+    global _availability, _availability_checked
+    if _availability_checked:
+        return _availability
+    _availability_checked = True
+    if cindex is None:
+        _availability = (
+            f"python clang bindings unavailable ({_IMPORT_ERROR}); "
+            "install python3-clang"
+        )
+        return _availability
+    candidates: list[str | None] = [None]  # default loader search first
+    if env := os.environ.get("ACDSE_LIBCLANG"):
+        candidates.insert(0, env)
+    for pattern in (
+        "/usr/lib/llvm-*/lib/libclang.so*",
+        "/usr/lib/llvm-*/lib/libclang-*.so*",
+        "/usr/lib/*/libclang.so*",
+        "/usr/lib/*/libclang-*.so.*",
+    ):
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    last_error = "no libclang candidates found"
+    for candidate in candidates:
+        try:
+            if candidate is not None:
+                cindex.Config.set_library_file(candidate)
+            cindex.Index.create()
+            _availability = None
+            return None
+        except Exception as exc:  # LibclangError, OSError, ...
+            last_error = str(exc).splitlines()[0] if str(exc) else repr(exc)
+    _availability = (
+        f"libclang not loadable ({last_error}); install libclang-dev "
+        "or point ACDSE_LIBCLANG at libclang.so"
+    )
+    return _availability
+
+
+def _kinds():
+    """Cursor-kind sets, resolved lazily so import works without clang."""
+    ck = cindex.CursorKind
+    return {
+        "func": {
+            ck.FUNCTION_DECL,
+            ck.CXX_METHOD,
+            ck.CONSTRUCTOR,
+            ck.DESTRUCTOR,
+            ck.CONVERSION_FUNCTION,
+            ck.FUNCTION_TEMPLATE,
+        },
+        "loop": {
+            ck.FOR_STMT,
+            ck.WHILE_STMT,
+            ck.DO_STMT,
+            ck.CXX_FOR_RANGE_STMT,
+        },
+        "decl": {ck.VAR_DECL, ck.FIELD_DECL, ck.PARM_DECL},
+    }
+
+
+class Analyzer:
+    """One lint pass over translation units rooted at @p root.
+
+    Findings accumulate deduplicated across TUs (the same header is
+    seen once per includer); paths are reported root-relative.
+    """
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self.index = cindex.Index.create()
+        self.findings: set[Finding] = set()
+        self.kinds = _kinds()
+
+    # -- parsing ------------------------------------------------------
+
+    def lint_compile_db(self, build_dir: Path) -> list[str]:
+        """Analyze every TU in the compilation database.
+
+        Returns the list of TUs that failed to parse (also recorded as
+        ast-parse findings so a broken database cannot pass silently).
+        """
+        db = cindex.CompilationDatabase.fromDirectory(str(build_dir))
+        failures: list[str] = []
+        seen: set[Path] = set()
+        for command in db.getAllCompileCommands():
+            source = Path(command.directory) / command.filename
+            source = source.resolve()
+            rel = self._rel_path(source)
+            if rel is None or source in seen:
+                continue
+            seen.add(source)
+            args = _sanitize_args(list(command.arguments))
+            if not self._lint_one(str(source), args, unsaved=None):
+                failures.append(str(rel))
+        return failures
+
+    def lint_snippet(self, virtual_path: str, code: str,
+                     args: tuple[str, ...] = ("-std=c++20",)) -> bool:
+        """Analyze an in-memory snippet under a virtual repo path."""
+        path = str(self.root / virtual_path)
+        return self._lint_one(path, list(args) + ["-x", "c++"],
+                              unsaved=[(path, code)])
+
+    def _lint_one(self, path: str, args: list[str], unsaved) -> bool:
+        options = (
+            cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD
+        )
+        try:
+            tu = self.index.parse(path, args=args,
+                                  unsaved_files=unsaved,
+                                  options=options)
+        except cindex.TranslationUnitLoadError:
+            self._record_parse_failure(path)
+            return False
+        fatal = [d for d in tu.diagnostics
+                 if d.severity >= cindex.Diagnostic.Fatal]
+        if fatal:
+            self._record_parse_failure(path, fatal[0].spelling)
+            return False
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 20000))
+        try:
+            for child in tu.cursor.get_children():
+                if self._rel_of(child) is None:
+                    continue  # system headers and builtins
+                self._visit(child, func_depth=0, markers=[])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return True
+
+    def _record_parse_failure(self, path: str, detail: str = ""):
+        rel = self._rel_path(Path(path))
+        name = str(rel) if rel else path
+        message = MESSAGES["ast-parse"]
+        if detail:
+            message += f" ({detail})"
+        self.findings.add((name, 1, "ast-parse", message))
+
+    # -- location helpers ---------------------------------------------
+
+    def _rel_path(self, path: Path) -> Path | None:
+        try:
+            return path.resolve().relative_to(self.root)
+        except ValueError:
+            return None
+
+    def _rel_of(self, cursor) -> Path | None:
+        location = cursor.location
+        if location.file is None:
+            return None
+        return self._rel_path(Path(location.file.name))
+
+    # -- the walk -----------------------------------------------------
+
+    def _visit(self, cursor, func_depth: int, markers: list[str]):
+        ck = cindex.CursorKind
+        kind = cursor.kind
+
+        if kind in (ck.MACRO_INSTANTIATION, ck.MACRO_DEFINITION):
+            if cursor.spelling == "ACDSE_ASSERT":
+                self._flag(cursor, "no-assert-macro")
+            return  # macro cursors have no useful children
+
+        if kind == ck.CALL_EXPR:
+            self._check_call(cursor)
+        elif kind in self.kinds["decl"]:
+            self._check_decl(cursor, func_depth, markers)
+
+        pushed = None
+        if kind in self.kinds["loop"]:
+            pushed = "loop"
+        elif kind == ck.LAMBDA_EXPR:
+            pushed = "lambda"
+            func_depth += 1
+        elif kind in self.kinds["func"]:
+            pushed = "func"
+            func_depth += 1
+        if pushed:
+            markers.append(pushed)
+        try:
+            for child in cursor.get_children():
+                self._visit(child, func_depth, markers)
+        finally:
+            if pushed:
+                markers.pop()
+
+    def _flag(self, cursor, rule: str):
+        rel = self._rel_of(cursor)
+        if rel is None:
+            return
+        self.findings.add(
+            (str(rel), cursor.location.line, rule, MESSAGES[rule]))
+
+    # -- rule: calls (deterministic-rng, parallelfor) -----------------
+
+    def _check_call(self, cursor):
+        callee = cursor.referenced
+        if (callee is not None
+                and callee.kind == cindex.CursorKind.FUNCTION_DECL
+                and callee.spelling in RNG_CALLS):
+            self._flag(cursor, "deterministic-rng")
+        if _names_parallel_for(cursor):
+            rel = self._rel_of(cursor)
+            if rel is not None and rel.parts and \
+                    rel.parts[0] in ("src", "bench", "tools"):
+                for lam in _lambdas_of_call(cursor):
+                    self._check_worker_lambda(lam)
+
+    def _check_worker_lambda(self, lam):
+        """Flag direct writes to by-reference captures in a worker."""
+        ck = cindex.CursorKind
+        local_decls = set()
+        for node in _walk(lam):
+            if node.kind in (ck.VAR_DECL, ck.PARM_DECL):
+                local_decls.add(_loc_key(node))
+        for node in _walk(lam):
+            target = _write_target(node)
+            if target is None:
+                continue
+            target = _unwrap(target)
+            if target.kind != ck.DECL_REF_EXPR:
+                continue  # subscripted / member writes are sanctioned
+            ref = target.referenced
+            if ref is None or ref.kind not in (ck.VAR_DECL, ck.PARM_DECL):
+                continue
+            if _loc_key(ref) in local_decls:
+                continue  # the worker's own locals and parameters
+            if "atomic" in ref.type.spelling:
+                continue
+            self._flag(target, "parallelfor-ref-capture")
+
+    # -- rule: declarations (rng type, statics, raw mutexes, spans) ---
+
+    def _check_decl(self, cursor, func_depth: int, markers: list[str]):
+        ck = cindex.CursorKind
+        rel = self._rel_of(cursor)
+        if rel is None:
+            return
+        type_spelling = cursor.type.spelling
+
+        if "random_device" in type_spelling:
+            self._flag(cursor, "deterministic-rng")
+
+        in_src = bool(rel.parts) and rel.parts[0] == "src"
+        if not in_src:
+            return
+
+        if rel.parts[:3] != SYNC_HEADER:
+            canonical = cursor.type.get_canonical().spelling
+            if any(t in canonical or t in type_spelling
+                   for t in MUTEX_TYPES):
+                self._flag(cursor, "raw-mutex")
+
+        if (cursor.kind == ck.VAR_DECL and func_depth > 0
+                and cursor.storage_class == cindex.StorageClass.STATIC):
+            # The spelling check catches arrays-of-const, where the
+            # constness sits on the element type, not the array type.
+            if not (cursor.type.is_const_qualified()
+                    or re.search(r"\bconst\b", type_spelling)
+                    or "atomic" in type_spelling):
+                self._flag(cursor, "local-static")
+
+        if cursor.kind == ck.VAR_DECL and "TraceSpan" in type_spelling:
+            # Nearest enclosing scope marker decides: a loop flags, a
+            # lambda or function boundary exempts (the parallelFor
+            # worker body is the per-task stage).
+            for marker in reversed(markers):
+                if marker == "loop":
+                    self._flag(cursor, "obs-span-in-hot-loop")
+                break
+
+
+# -- cursor utilities -------------------------------------------------
+
+
+def _walk(cursor):
+    for child in cursor.get_children():
+        yield child
+        yield from _walk(child)
+
+
+def _loc_key(cursor):
+    location = cursor.location
+    name = location.file.name if location.file is not None else None
+    return (name, location.offset)
+
+
+def _unwrap(cursor):
+    ck = cindex.CursorKind
+    while cursor.kind in (ck.UNEXPOSED_EXPR, ck.PAREN_EXPR):
+        children = list(cursor.get_children())
+        if len(children) != 1:
+            break
+        cursor = children[0]
+    return cursor
+
+
+def _binary_op_is_assign(cursor) -> bool:
+    """True when a BINARY_OPERATOR cursor is plain assignment."""
+    op = getattr(cursor, "binary_operator", None)
+    enum = getattr(cindex, "BinaryOperator", None)
+    if op is not None and enum is not None and op != enum.Invalid:
+        return op == enum.Assign
+    # Older bindings: the operator token is the first token at or past
+    # the end of the left operand.
+    children = list(cursor.get_children())
+    if len(children) != 2:
+        return False
+    lhs_end = children[0].extent.end.offset
+    for token in cursor.get_tokens():
+        if token.extent.start.offset >= lhs_end:
+            return token.spelling == "="
+    return False
+
+
+def _write_target(cursor):
+    """The written operand of an assignment/increment, else None."""
+    ck = cindex.CursorKind
+    children = list(cursor.get_children())
+    if cursor.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR and children:
+        return children[0]
+    if cursor.kind == ck.BINARY_OPERATOR and len(children) == 2:
+        return children[0] if _binary_op_is_assign(cursor) else None
+    if cursor.kind == ck.UNARY_OPERATOR and children:
+        spellings = [t.spelling for t in cursor.get_tokens()]
+        if "++" in spellings[:1] + spellings[-1:]:
+            return children[0]
+        if "--" in spellings[:1] + spellings[-1:]:
+            return children[0]
+    return None
+
+
+def _names_parallel_for(call) -> bool:
+    if call.spelling == "parallelFor":
+        return True
+    children = list(call.get_children())
+    if not children:
+        return False
+    callee = children[0]
+    if callee.spelling == "parallelFor":
+        return True
+    return any(k.spelling == "parallelFor"
+               for k in callee.get_children())
+
+
+def _find_lambdas(cursor):
+    """Outermost LAMBDA_EXPR nodes in a subtree."""
+    if cursor.kind == cindex.CursorKind.LAMBDA_EXPR:
+        return [cursor]
+    found = []
+    for child in cursor.get_children():
+        found.extend(_find_lambdas(child))
+    return found
+
+
+def _lambdas_of_call(call):
+    ck = cindex.CursorKind
+    args = list(call.get_arguments())
+    if not args:
+        args = list(call.get_children())[1:]
+    lambdas = []
+    for arg in args:
+        found = _find_lambdas(arg)
+        if found:
+            lambdas.extend(found)
+            continue
+        base = _unwrap(arg)
+        if base.kind == ck.DECL_REF_EXPR:
+            ref = base.referenced
+            if ref is not None and ref.kind == ck.VAR_DECL:
+                lambdas.extend(_find_lambdas(ref))
+    return lambdas
+
+
+def _sanitize_args(arguments: list[str]) -> list[str]:
+    """Compile-command argv -> libclang parse args.
+
+    Drops the compiler (and a ccache-style launcher prefix), the
+    source file, and output/dependency options, and silences
+    diagnostics we do not consume.
+    """
+    args = arguments[1:]
+    if args and not args[0].startswith("-") and re.search(
+            r"(?:^|/)(?:cc|c\+\+|gcc|g\+\+|clang|clang\+\+)[^/]*$",
+            args[0]):
+        args = args[1:]
+    out: list[str] = []
+    skip_next = False
+    for arg in args:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg == "-c":
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if not arg.startswith("-") and re.search(
+                r"\.(?:cc|cpp|cxx|c)$", arg):
+            continue
+        out.append(arg)
+    out.append("-Wno-everything")
+    return out
+
+
+# -- self-test --------------------------------------------------------
+
+_STUBS = """
+namespace std {
+class mutex { };
+class shared_mutex { };
+class condition_variable { };
+class random_device { public: unsigned operator()(); };
+template <typename T> class atomic {
+  public:
+    T fetch_add(T);
+    atomic &operator+=(T);
+    T load() const;
+};
+}
+namespace acdse { namespace obs {
+class TraceSpan { public: explicit TraceSpan(int &stage); };
+} }
+struct Pool {
+    void parallelFor(unsigned long begin, unsigned long end,
+                     void (*body)(unsigned long));
+    template <typename F>
+    void parallelFor(unsigned long begin, unsigned long end, F f)
+    {
+        f(begin);
+    }
+};
+extern "C" int rand();
+extern "C" long time(long *);
+"""
+_STUB_LINES = _STUBS.count("\n")
+
+# (name, virtual path, snippet, expected {(line, rule)}) -- lines are
+# relative to the snippet, after the shared stub prologue.
+SELF_TEST_CASES = [
+    (
+        "rand() call flags",
+        "src/case.cc",
+        "int f() { return rand(); }",
+        {(1, "deterministic-rng")},
+    ),
+    (
+        "std::random_device declaration flags",
+        "src/case.cc",
+        "unsigned f() {\n    std::random_device rd;\n    return rd();\n}",
+        {(2, "deterministic-rng")},
+    ),
+    (
+        "time(nullptr) seed flags",
+        "src/case.cc",
+        "long f() { return time(nullptr); }",
+        {(1, "deterministic-rng")},
+    ),
+    (
+        "ACDSE_ASSERT macro definition and use flag",
+        "src/case.cc",
+        "#define ACDSE_ASSERT(x) (void)(x)\n"
+        "void f() { ACDSE_ASSERT(1); }",
+        {(1, "no-assert-macro"), (2, "no-assert-macro")},
+    ),
+    (
+        "span in for body flags",
+        "src/case.cc",
+        "void f(int &stage, int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        const acdse::obs::TraceSpan span(stage);\n"
+        "    }\n"
+        "}",
+        {(3, "obs-span-in-hot-loop")},
+    ),
+    (
+        "span in parallelFor worker lambda is clean",
+        "src/case.cc",
+        "void f(Pool &pool, int &stage, unsigned long n) {\n"
+        "    for (unsigned long w = 0; w < n; ++w) {\n"
+        "        pool.parallelFor(0, n, [&](unsigned long) {\n"
+        "            const acdse::obs::TraceSpan span(stage);\n"
+        "        });\n"
+        "    }\n"
+        "}",
+        set(),
+    ),
+    (
+        "span outside loops is clean",
+        "src/case.cc",
+        "void f(int &stage, int n) {\n"
+        "    const acdse::obs::TraceSpan span(stage);\n"
+        "    for (int i = 0; i < n; ++i) { }\n"
+        "}",
+        set(),
+    ),
+    (
+        "span in loop in tests/ is exempt",
+        "tests/case.cc",
+        "void f(int &stage, int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        const acdse::obs::TraceSpan span(stage);\n"
+        "    }\n"
+        "}",
+        set(),
+    ),
+    (
+        "compound-assign to by-ref capture flags",
+        "src/case.cc",
+        "double f(Pool &pool, const double *in, unsigned long n) {\n"
+        "    double sum = 0.0;\n"
+        "    pool.parallelFor(0, n, [&](unsigned long i) {\n"
+        "        sum += in[i];\n"
+        "    });\n"
+        "    return sum;\n"
+        "}",
+        {(4, "parallelfor-ref-capture")},
+    ),
+    (
+        "index-addressed slot write is clean",
+        "src/case.cc",
+        "void f(Pool &pool, double *out, unsigned long n) {\n"
+        "    pool.parallelFor(0, n, [&](unsigned long i) {\n"
+        "        double local = 1.0;\n"
+        "        local += 2.0;\n"
+        "        out[i] = local;\n"
+        "    });\n"
+        "}",
+        set(),
+    ),
+    (
+        "atomic capture write is clean",
+        "src/case.cc",
+        "void f(Pool &pool, unsigned long n) {\n"
+        "    std::atomic<unsigned long> done{};\n"
+        "    pool.parallelFor(0, n, [&](unsigned long) {\n"
+        "        done.fetch_add(1);\n"
+        "    });\n"
+        "}",
+        set(),
+    ),
+    (
+        "named worker lambda is resolved and flagged",
+        "src/case.cc",
+        "void f(Pool &pool, unsigned long n) {\n"
+        "    unsigned long hits = 0;\n"
+        "    const auto worker = [&](unsigned long) { ++hits; };\n"
+        "    pool.parallelFor(0, n, worker);\n"
+        "}",
+        {(3, "parallelfor-ref-capture")},
+    ),
+    (
+        "mutable local static flags; const and atomic are exempt",
+        "src/case.cc",
+        "int f() {\n"
+        "    static int calls = 0;\n"
+        "    static const int base = 3;\n"
+        "    static std::atomic<int> safe{};\n"
+        "    return ++calls + base + safe.load();\n"
+        "}",
+        {(2, "local-static")},
+    ),
+    (
+        "local static outside src/ is exempt",
+        "tools/case.cc",
+        "int f() {\n"
+        "    static int calls = 0;\n"
+        "    return ++calls;\n"
+        "}",
+        set(),
+    ),
+    (
+        "raw mutex member in src/ flags",
+        "src/case.cc",
+        "class Queue {\n"
+        "    std::mutex mutex_;\n"
+        "    std::condition_variable cv_;\n"
+        "};",
+        {(2, "raw-mutex"), (3, "raw-mutex")},
+    ),
+    (
+        "raw mutex in base/sync.hh and outside src/ is exempt",
+        "src/base/sync.hh",
+        "class Mutex {\n"
+        "    std::mutex raw_;\n"
+        "};",
+        set(),
+    ),
+]
+
+
+def run_self_test(root: Path, verbose: bool = True) -> int:
+    """Run embedded AST cases; returns the number of failures."""
+    failures = 0
+    for name, virtual_path, snippet, expected in SELF_TEST_CASES:
+        analyzer = Analyzer(root)
+        code = _STUBS + snippet
+        analyzer.lint_snippet(virtual_path, code)
+        got = {
+            (line - _STUB_LINES, rule)
+            for (_, line, rule, _) in analyzer.findings
+        }
+        ok = got == expected
+        failures += not ok
+        if verbose:
+            status = "ok" if ok else "FAIL"
+            print(f"{status}: [ast] {name} "
+                  f"(expected {sorted(expected)}, got {sorted(got)})")
+    return failures
+
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*acdse-([a-z-]+)")
+
+
+def check_fixture(root: Path, fixture: Path,
+                  virtual_path: str) -> list[str]:
+    """Lint one fixture file against its embedded EXPECT comments.
+
+    Fixtures are hermetic snippets (no system includes) annotated with
+    ``// EXPECT: acdse-<rule>`` on each line that must flag. Returns a
+    list of mismatch descriptions (empty = pass).
+    """
+    code = fixture.read_text(encoding="utf-8")
+    expected = set()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for match in EXPECT_RE.finditer(line):
+            expected.add((lineno, match.group(1)))
+    analyzer = Analyzer(root)
+    analyzer.lint_snippet(virtual_path, code)
+    got = {(line, rule) for (_, line, rule, _) in analyzer.findings}
+    problems = []
+    for line, rule in sorted(expected - got):
+        problems.append(
+            f"{fixture.name}:{line}: expected acdse-{rule}, not found")
+    for line, rule in sorted(got - expected):
+        problems.append(
+            f"{fixture.name}:{line}: unexpected acdse-{rule}")
+    return problems

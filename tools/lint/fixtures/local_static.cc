@@ -1,0 +1,47 @@
+// AST-engine self-test fixture for acdse-local-static. Parsed
+// hermetically under the virtual path src/lint_fixtures/..., where the
+// src/-scoped rule applies. Mutable function-local statics flag;
+// const / atomic ones (and namespace-scope globals) are exempt.
+
+namespace std
+{
+template <typename T> class atomic
+{
+  public:
+    T load() const;
+    atomic &operator++();
+};
+} // namespace std
+
+int namespaceScopeIsExempt = 0; // globals are clang-tidy's business
+
+int
+badCounter()
+{
+    static int calls = 0; // EXPECT: acdse-local-static
+    return ++calls;
+}
+
+struct Cache
+{
+    int lookup()
+    {
+        static Cache *instance = nullptr; // EXPECT: acdse-local-static
+        return instance ? 1 : 0;
+    }
+};
+
+int
+goodConstTable(int i)
+{
+    static const int table[3] = {1, 2, 3};
+    static constexpr int scale = 7;
+    return table[i % 3] * scale;
+}
+
+long
+goodAtomic()
+{
+    static std::atomic<long> hits{};
+    return hits.load();
+}

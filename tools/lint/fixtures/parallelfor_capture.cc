@@ -1,0 +1,75 @@
+// AST-engine self-test fixture for acdse-parallelfor-ref-capture.
+// Parsed hermetically under the virtual path src/lint_fixtures/...
+// Flagged lines carry EXPECT comments; the index-addressed and atomic
+// variants below them are the sanctioned patterns and must stay clean.
+
+namespace std
+{
+template <typename T> class atomic
+{
+  public:
+    T fetch_add(T);
+    T load() const;
+};
+template <typename T> class vector
+{
+  public:
+    T &operator[](unsigned long);
+    unsigned long size() const;
+};
+} // namespace std
+
+struct ThreadPool
+{
+    template <typename F>
+    void parallelFor(unsigned long begin, unsigned long end, F body)
+    {
+        for (unsigned long i = begin; i < end; ++i)
+            body(i);
+    }
+};
+
+double
+badAccumulate(ThreadPool &pool, const std::vector<double> &in)
+{
+    double sum = 0.0;
+    unsigned long count = 0;
+    pool.parallelFor(0, in.size(), [&](unsigned long i) {
+        sum += in[i]; // EXPECT: acdse-parallelfor-ref-capture
+        ++count;      // EXPECT: acdse-parallelfor-ref-capture
+    });
+    return sum;
+}
+
+double
+badLastWriter(ThreadPool &pool, const std::vector<double> &in)
+{
+    double last = 0.0;
+    pool.parallelFor(0, in.size(), [&](unsigned long i) {
+        last = in[i]; // EXPECT: acdse-parallelfor-ref-capture
+    });
+    return last;
+}
+
+void
+badNamedWorker(ThreadPool &pool, unsigned long n)
+{
+    unsigned long hits = 0;
+    const auto worker = [&](unsigned long) {
+        hits += 1; // EXPECT: acdse-parallelfor-ref-capture
+    };
+    pool.parallelFor(0, n, worker);
+}
+
+void
+goodSlots(ThreadPool &pool, const std::vector<double> &in,
+          std::vector<double> &out)
+{
+    std::atomic<unsigned long> done{};
+    pool.parallelFor(0, in.size(), [&](unsigned long i) {
+        double local = in[i]; // worker-local state is fine
+        local += 1.0;
+        out[i] = local; // index-addressed slot: deterministic
+        done.fetch_add(1);
+    });
+}

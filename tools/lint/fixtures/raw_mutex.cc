@@ -1,0 +1,63 @@
+// AST-engine self-test fixture for acdse-raw-mutex. Parsed hermetically
+// (no system headers) under the virtual path src/lint_fixtures/..., so
+// the src/-scoped rule applies. Lines that must flag carry an
+// EXPECT comment; everything else must stay clean.
+
+namespace std
+{
+class mutex
+{
+};
+class shared_mutex
+{
+};
+class condition_variable
+{
+};
+template <typename M> class unique_lock
+{
+  public:
+    explicit unique_lock(M &);
+};
+} // namespace std
+
+namespace acdse
+{
+class Mutex
+{
+};
+class SharedMutex
+{
+};
+class CondVar
+{
+};
+
+class BadQueue
+{
+    std::mutex mutex_;            // EXPECT: acdse-raw-mutex
+    std::shared_mutex rw_;        // EXPECT: acdse-raw-mutex
+    std::condition_variable cv_;  // EXPECT: acdse-raw-mutex
+};
+
+class SuppressedQueue
+{
+    std::mutex legacy_; // NOLINT(acdse-raw-mutex) -- suppression is
+                        // applied by the caller, so the engine still
+                        // reports this line:
+                        // EXPECT: acdse-raw-mutex
+};
+
+void
+badLocal(std::mutex &shared) // EXPECT: acdse-raw-mutex
+{
+    const std::unique_lock<std::mutex> lock(shared); // EXPECT: acdse-raw-mutex
+}
+
+class GoodQueue
+{
+    Mutex mutex_;
+    SharedMutex rw_;
+    CondVar cv_;
+};
+} // namespace acdse
