@@ -37,7 +37,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -233,6 +235,24 @@ class CondVar
         std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
         cv_.wait(lock);
         lock.release();
+    }
+
+    /**
+     * wait() with a deadline: release @p mutex, sleep until notified
+     * or @p nanos elapsed, reacquire. Returns true when notified
+     * before the deadline. The bounded sleep is what lets a consumer
+     * park without a watertight producer-side wakeup protocol: a
+     * missed notify costs at most one deadline, not a hang (the
+     * prediction service's drainer idles this way).
+     */
+    bool waitFor(Mutex &mutex, std::uint64_t nanos)
+        ACDSE_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+        const std::cv_status status =
+            cv_.wait_for(lock, std::chrono::nanoseconds(nanos));
+        lock.release();
+        return status == std::cv_status::no_timeout;
     }
 
     void notifyOne() noexcept { cv_.notify_one(); }

@@ -113,6 +113,104 @@ Histogram::reset() noexcept
     }
 }
 
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    // Nearest-rank target, then linear interpolation across the
+    // samples of the bucket the rank lands in.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        clamped * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (seen + buckets[b] > rank) {
+            const double low = static_cast<double>(
+                Histogram::bucketLow(b));
+            const double high = static_cast<double>(
+                Histogram::bucketHigh(b));
+            const double within =
+                static_cast<double>(rank - seen) /
+                static_cast<double>(buckets[b]);
+            return low + within * (high - low);
+        }
+        seen += buckets[b];
+    }
+    return static_cast<double>(max);
+}
+
+namespace
+{
+
+/** splitmix64 finaliser: the deterministic randomness Algorithm R
+ *  draws per sample ordinal (see Reservoir's class comment). */
+std::uint64_t
+splitmix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+Reservoir::recordSlow(std::uint64_t value) noexcept
+{
+    const std::uint64_t n =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    if (n < kReservoirCapacity) {
+        samples_[n].store(value, std::memory_order_relaxed);
+        return;
+    }
+    // Algorithm R: sample n replaces a random slot with probability
+    // capacity / (n + 1), keeping every stream position equally
+    // likely to be retained.
+    const std::uint64_t r = splitmix64(n) % (n + 1);
+    if (r < kReservoirCapacity)
+        samples_[r].store(value, std::memory_order_relaxed);
+}
+
+ReservoirSnapshot
+Reservoir::read() const
+{
+    ReservoirSnapshot out;
+    out.count = count_.load(std::memory_order_relaxed);
+    const std::size_t kept =
+        out.count < kReservoirCapacity
+            ? static_cast<std::size_t>(out.count)
+            : kReservoirCapacity;
+    out.samples.reserve(kept);
+    for (std::size_t i = 0; i < kept; ++i)
+        out.samples.push_back(
+            samples_[i].load(std::memory_order_relaxed));
+    std::sort(out.samples.begin(), out.samples.end());
+    return out;
+}
+
+void
+Reservoir::reset() noexcept
+{
+    count_.store(0, std::memory_order_relaxed);
+    for (auto &sample : samples_)
+        sample.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+ReservoirSnapshot::quantile(double q) const
+{
+    if (samples.empty())
+        return 0;
+    const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    const std::size_t rank = static_cast<std::size_t>(
+        clamped * static_cast<double>(samples.size() - 1));
+    return samples[rank];
+}
+
 void
 Stage::reset() noexcept
 {
@@ -141,6 +239,26 @@ Snapshot::merge(const Snapshot &other)
         }
         for (std::size_t b = 0; b < kBuckets; ++b)
             mine.buckets[b] += hist.buckets[b];
+    }
+    for (const auto &[name, res] : other.reservoirs) {
+        ReservoirSnapshot &mine = reservoirs[name];
+        mine.count += res.count;
+        mine.samples.insert(mine.samples.end(), res.samples.begin(),
+                            res.samples.end());
+        std::sort(mine.samples.begin(), mine.samples.end());
+        if (mine.samples.size() > Reservoir::kReservoirCapacity) {
+            // Keep a uniform stride of the union so the merged
+            // quantiles stay representative of both inputs.
+            std::vector<std::uint64_t> kept;
+            kept.reserve(Reservoir::kReservoirCapacity);
+            const std::size_t n = mine.samples.size();
+            for (std::size_t i = 0;
+                 i < Reservoir::kReservoirCapacity; ++i)
+                kept.push_back(
+                    mine.samples[i * n /
+                                 Reservoir::kReservoirCapacity]);
+            mine.samples = std::move(kept);
+        }
     }
     for (const auto &[name, stage] : other.stages) {
         StageSnapshot &mine = stages[name];
@@ -203,6 +321,13 @@ diff(const Snapshot &before, const Snapshot &after)
             it == before.histograms.end() ? nullptr : &it->second,
             hist);
     }
+    for (const auto &[name, res] : after.reservoirs) {
+        const auto it = before.reservoirs.find(name);
+        ReservoirSnapshot delta = res; // samples stay 'after' (header)
+        if (it != before.reservoirs.end())
+            delta.count -= it->second.count;
+        out.reservoirs[name] = std::move(delta);
+    }
     for (const auto &[name, stage] : after.stages) {
         const auto it = before.stages.find(name);
         StageSnapshot delta = stage;
@@ -231,8 +356,8 @@ void
 Registry::checkUnique(std::string_view name, int kind) const
 {
     // Caller holds mutex_ exclusively. Kind: 0 counter, 1 gauge,
-    // 2 histogram, 3 stage. A name must not be re-interned as a
-    // different kind.
+    // 2 histogram, 3 stage, 4 reservoir. A name must not be
+    // re-interned as a different kind.
     ACDSE_CHECK(kind == 0 || !counters_.contains(name), "metric '",
                 std::string(name),
                 "' already registered as a counter");
@@ -243,6 +368,9 @@ Registry::checkUnique(std::string_view name, int kind) const
                 "' already registered as a histogram");
     ACDSE_CHECK(kind == 3 || !stages_.contains(name), "metric '",
                 std::string(name), "' already registered as a stage");
+    ACDSE_CHECK(kind == 4 || !reservoirs_.contains(name), "metric '",
+                std::string(name),
+                "' already registered as a reservoir");
 }
 
 Counter &
@@ -295,6 +423,23 @@ Registry::histogram(std::string_view name)
     return *slot;
 }
 
+Reservoir &
+Registry::reservoir(std::string_view name)
+{
+    {
+        ReaderLock lock(mutex_);
+        if (const auto it = reservoirs_.find(name);
+            it != reservoirs_.end())
+            return *it->second;
+    }
+    WriterLock lock(mutex_);
+    checkUnique(name, 4);
+    auto &slot = reservoirs_[std::string(name)];
+    if (!slot)
+        slot = std::make_unique<Reservoir>();
+    return *slot;
+}
+
 Stage &
 Registry::stage(std::string_view path)
 {
@@ -322,6 +467,8 @@ Registry::snapshot() const
         out.gauges[name] = gauge->value();
     for (const auto &[name, histogram] : histograms_)
         out.histograms[name] = histogram->read();
+    for (const auto &[name, res] : reservoirs_)
+        out.reservoirs[name] = res->read();
     for (const auto &[name, stage] : stages_) {
         StageSnapshot snap;
         snap.count = stage->spans().value();
@@ -343,6 +490,8 @@ Registry::reset()
         gauge->reset();
     for (const auto &[name, histogram] : histograms_)
         histogram->reset();
+    for (const auto &[name, res] : reservoirs_)
+        res->reset();
     for (const auto &[name, stage] : stages_)
         stage->reset();
 }

@@ -41,6 +41,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/sync.hh"
 
@@ -140,6 +141,15 @@ struct HistogramSnapshot
                            static_cast<double>(count)
                      : 0.0;
     }
+
+    /**
+     * Approximate quantile @p q in [0, 1]: find the log2 bucket
+     * holding the q-th sample and interpolate linearly inside it.
+     * Bucket b > 0 spans [2^(b-1), 2^b - 1], so the answer is within
+     * 2x of the exact sample value -- good enough for dashboards and
+     * coarse gates; serving-latency SLOs use the exact Reservoir.
+     */
+    double quantile(double q) const;
 };
 
 /**
@@ -198,6 +208,59 @@ class Histogram
     void recordSlow(std::uint64_t value) noexcept;
 
     std::array<Shard, kShards> shards_{};
+};
+
+/** Aggregated read of one Reservoir. */
+struct ReservoirSnapshot
+{
+    std::uint64_t count = 0;            //!< samples offered (not kept)
+    std::vector<std::uint64_t> samples; //!< retained sample, sorted
+
+    /**
+     * Exact nearest-rank quantile over the retained sample;
+     * 0 when empty. With fewer offers than the reservoir capacity
+     * this is the exact stream quantile; beyond that it is the
+     * quantile of a uniform subsample (standard error ~1/sqrt(cap)).
+     */
+    std::uint64_t quantile(double q) const;
+};
+
+/**
+ * A fixed-size uniform sample of a value stream for *exact* quantiles
+ * -- the tail-latency complement to Histogram, whose log2 buckets can
+ * only bound p99/p999 to a factor of two.
+ *
+ * Replacement is Algorithm R with the randomness derived from a
+ * splitmix64 hash of the sample ordinal: deterministic (same stream
+ * -> same reservoir, per the repo's reproducibility rule), unbiased
+ * across positions, and wait-free (one fetch_add plus one relaxed
+ * store; concurrent readers may observe a sample mid-replacement,
+ * which yields a momentarily duplicated value, never a torn one).
+ */
+class Reservoir
+{
+  public:
+    /** Retained samples; p999 of a full reservoir rests on ~4 points. */
+    static constexpr std::size_t kReservoirCapacity = 4096;
+
+    void record(std::uint64_t value) noexcept
+    {
+        if constexpr (kEnabled)
+            recordSlow(value);
+        else
+            (void)value;
+    }
+
+    ReservoirSnapshot read() const;
+
+    void reset() noexcept;
+
+  private:
+    void recordSlow(std::uint64_t value) noexcept;
+
+    std::atomic<std::uint64_t> count_{0};
+    std::array<std::atomic<std::uint64_t>, kReservoirCapacity>
+        samples_{};
 };
 
 /**
@@ -263,6 +326,7 @@ struct Snapshot
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::int64_t> gauges;
     std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, ReservoirSnapshot> reservoirs;
     std::map<std::string, StageSnapshot> stages;
 
     /**
@@ -277,7 +341,9 @@ struct Snapshot
  * Interval between two snapshots of the same registry: counters,
  * histogram counts/sums/buckets and stage times subtract; gauges keep
  * the @p after value; histogram min/max keep the @p after values
- * (extrema cannot be un-merged and stay lifetime extrema).
+ * (extrema cannot be un-merged and stay lifetime extrema); reservoirs
+ * keep the @p after sample wholesale (individual samples cannot be
+ * subtracted) with only the offer count differenced.
  */
 Snapshot diff(const Snapshot &before, const Snapshot &after);
 
@@ -301,6 +367,7 @@ class Registry
     Counter &counter(std::string_view name);
     Gauge &gauge(std::string_view name);
     Histogram &histogram(std::string_view name);
+    Reservoir &reservoir(std::string_view name);
     Stage &stage(std::string_view path);
 
     /** Aggregate everything registered so far. */
@@ -321,6 +388,8 @@ class Registry
         ACDSE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
         histograms_ ACDSE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Reservoir>, std::less<>>
+        reservoirs_ ACDSE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages_
         ACDSE_GUARDED_BY(mutex_);
 };

@@ -21,7 +21,13 @@ writeHistogramJson(JsonWriter &writer, const HistogramSnapshot &hist)
         .key("max")
         .value(hist.max)
         .key("mean")
-        .value(hist.mean());
+        .value(hist.mean())
+        .key("p50")
+        .value(hist.quantile(0.50))
+        .key("p99")
+        .value(hist.quantile(0.99))
+        .key("p999")
+        .value(hist.quantile(0.999));
     writer.key("buckets").beginArray();
     for (std::size_t b = 0; b < kBuckets; ++b) {
         if (hist.buckets[b] == 0)
@@ -77,6 +83,25 @@ statsToJson(const Snapshot &snapshot)
     for (const auto &[name, hist] : snapshot.histograms) {
         writer.key(name);
         writeHistogramJson(writer, hist);
+    }
+    writer.endObject();
+    writer.key("reservoirs").beginObject();
+    for (const auto &[name, res] : snapshot.reservoirs) {
+        writer.key(name)
+            .beginObject()
+            .key("count")
+            .value(res.count)
+            .key("retained")
+            .value(static_cast<std::uint64_t>(res.samples.size()))
+            .key("p50")
+            .value(res.quantile(0.50))
+            .key("p90")
+            .value(res.quantile(0.90))
+            .key("p99")
+            .value(res.quantile(0.99))
+            .key("p999")
+            .value(res.quantile(0.999))
+            .endObject();
     }
     writer.endObject();
     writer.key("stages");

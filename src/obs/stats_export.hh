@@ -13,9 +13,15 @@
  *     "histograms": { "<name>": { "count": <u64>, "sum": <u64>,
  *                                 "min": <u64>, "max": <u64>,
  *                                 "mean": <double>,
+ *                                 "p50": <double>, "p99": <double>,
+ *                                 "p999": <double>,
  *                                 "buckets": [ { "le": <u64>,
  *                                                "count": <u64> },
  *                                              ... ] }, ... },
+ *     "reservoirs": { "<name>": { "count": <u64>, "retained": <u64>,
+ *                                 "p50": <u64>, "p90": <u64>,
+ *                                 "p99": <u64>, "p999": <u64> },
+ *                     ... },
  *     "stages":     { "<path>": { "count": <u64>,
  *                                 "total_ms": <double>,
  *                                 "self_ms": <double>,

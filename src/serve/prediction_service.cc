@@ -8,11 +8,27 @@
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "base/simd.hh"
 #include "obs/stats_export.hh"
 #include "obs/trace_span.hh"
 
 namespace acdse
 {
+
+namespace
+{
+
+/**
+ * Idle polls the drainer spins through an empty ring before parking
+ * on the condvar. Spinning keeps tail latency flat under steady load;
+ * parking keeps an idle service off the scheduler.
+ */
+constexpr int kDrainSpinPolls = 256;
+
+/** Bounded park interval; a lost wake-up costs at most this. */
+constexpr std::uint64_t kDrainParkNs = 1'000'000; // 1 ms
+
+} // namespace
 
 ServeOptions
 ServeOptions::fromEnvironment()
@@ -27,33 +43,95 @@ ServeOptions::fromEnvironment()
         options.threads = static_cast<std::size_t>(
             parseU64OrDie("ACDSE_SERVE_THREADS", value));
     }
+    if (const char *value = std::getenv("ACDSE_SERVE_QUEUE");
+        value && *value) {
+        options.maxQueue = static_cast<std::size_t>(
+            parseU64OrDie("ACDSE_SERVE_QUEUE", value));
+    }
     return options;
+}
+
+AsyncBatch::AsyncBatch(std::size_t capacity)
+    : rows_(capacity), versions_(capacity, 0)
+{
+    ACDSE_CHECK(capacity > 0, "AsyncBatch needs a positive capacity");
+    ACDSE_CHECK(capacity <= std::numeric_limits<std::uint32_t>::max(),
+                "AsyncBatch capacity ", capacity, " overflows the ",
+                "pending counter");
+}
+
+void
+AsyncBatch::wait() const
+{
+    // The drainer only notifies when pending reaches zero, and zero is
+    // the only value a waiter cares about, so the loop cannot miss its
+    // wake-up; the acquire load pairs with the drainer's release
+    // decrement and publishes the completed rows.
+    std::uint32_t pending = pending_.load(std::memory_order_acquire);
+    while (pending != 0) {
+        pending_.wait(pending, std::memory_order_acquire);
+        pending = pending_.load(std::memory_order_acquire);
+    }
+}
+
+void
+AsyncBatch::reset()
+{
+    ACDSE_CHECK(pending_.load(std::memory_order_acquire) == 0,
+                "reset() with requests in flight; wait() first");
+    submitted_ = 0;
+    std::fill(versions_.begin(), versions_.end(), std::uint64_t{0});
 }
 
 PredictionService::PredictionService(ModelArtifact artifact,
                                      ServeOptions options)
-    : artifact_(std::move(artifact)), options_(std::move(options)),
-      pool_(options_.threads),
+    : options_(std::move(options)), pool_(options_.threads),
       batchStage_(registry_.stage("serve/batch")),
       chunkStage_(registry_.stage("serve/chunk")),
+      drainStage_(registry_.stage("serve/drain")),
       pointsServed_(registry_.counter("serve/points")),
+      requestsAccepted_(registry_.counter("serve/requests")),
+      requestsShed_(registry_.counter("serve/shed")),
       batchPoints_(registry_.histogram("serve/batch-points")),
-      queueWaitNs_(registry_.histogram("serve/queue-wait-ns"))
+      queueWaitNs_(registry_.histogram("serve/queue-wait-ns")),
+      requestLatencyNs_(registry_.histogram("serve/request-latency-ns")),
+      latencyReservoir_(registry_.reservoir("serve/request-latency")),
+      ring_(options_.maxQueue)
 {
-    ACDSE_CHECK(!artifact_.empty(),
-                 "cannot serve an artifact with no predictors");
-    for (const auto &entry : artifact_.entries()) {
-        ACDSE_CHECK(entry.predictor.ready(),
-                     "artifact predictor for ", metricName(entry.metric),
-                     " has no fitted responses");
-        // Validate width once here so the per-point predict path can
-        // run on DCHECKs alone.
-        ACDSE_CHECK(entry.predictor.featureDim() == kNumParams,
-                    "artifact predictor for ", metricName(entry.metric),
-                    " expects ", entry.predictor.featureDim(),
-                    " features, queries carry ", kNumParams);
-    }
     ACDSE_CHECK(options_.chunk > 0, "chunk size must be positive");
+    ACDSE_CHECK(options_.drainBatch > 0,
+                "drain batch size must be positive");
+    const TenantId tenant = models_.registerTenant("default");
+    ACDSE_CHECK(tenant == kDefaultTenant,
+                "default tenant must get id 0");
+    models_.publish(kDefaultTenant, std::move(artifact));
+    if (options_.startDrainer)
+        drainer_ = std::thread([this] { drainLoop(); });
+}
+
+PredictionService::~PredictionService()
+{
+    stop_.store(true, std::memory_order_release);
+    if (drainer_.joinable()) {
+        {
+            MutexLock lock(drainMutex_);
+            drainCv_.notifyAll();
+        }
+        // drainLoop() drains the ring to empty after observing stop_,
+        // so every accepted request completes before the join.
+        drainer_.join();
+    } else {
+        // Manual-drain mode: complete what tests left queued so no
+        // AsyncBatch outlives its rows with pending_ stuck non-zero.
+        std::vector<ServeRequest> scratch(options_.drainBatch);
+        while (true) {
+            const std::size_t n =
+                ring_.popInto(scratch.data(), scratch.size());
+            if (n == 0)
+                break;
+            serveDrained(scratch.data(), n);
+        }
+    }
 }
 
 PredictionService
@@ -62,8 +140,39 @@ PredictionService::fromFile(const std::string &path, ServeOptions options)
     return PredictionService(loadArtifact(path), options);
 }
 
+std::shared_ptr<const ServedModel>
+PredictionService::model(TenantId tenant) const
+{
+    return models_.table()->modelPtr(tenant);
+}
+
+std::vector<Metric>
+PredictionService::metrics() const
+{
+    return model(kDefaultTenant)->artifact.metrics();
+}
+
+TenantId
+PredictionService::registerTenant(const std::string &name)
+{
+    return models_.registerTenant(name);
+}
+
+TenantId
+PredictionService::findTenant(const std::string &name) const
+{
+    return models_.findTenant(name);
+}
+
+std::uint64_t
+PredictionService::publish(TenantId tenant, ModelArtifact artifact)
+{
+    return models_.publish(tenant, std::move(artifact));
+}
+
 void
 PredictionService::computeRange(
+    const ModelArtifact &artifact,
     const std::vector<MicroarchConfig> &queries,
     std::vector<PredictionRow> &rows, std::size_t begin,
     std::size_t end) const
@@ -82,7 +191,7 @@ PredictionService::computeRange(
         rows[begin + i].values.fill(
             std::numeric_limits<double>::quiet_NaN());
     }
-    for (const auto &entry : artifact_.entries()) {
+    for (const auto &entry : artifact.entries()) {
         entry.predictor.predictBatchFromFeatures(features.data(), n,
                                                  out.data(), scratch);
         const auto metric = static_cast<std::size_t>(entry.metric);
@@ -99,8 +208,14 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
     if (queries.empty())
         return rows;
 
+    // Pin one model snapshot for the whole batch: a concurrent
+    // publish() swaps the *next* batch, never splits this one.
+    const std::shared_ptr<const ServedModel> served =
+        model(kDefaultTenant);
+    const ModelArtifact &artifact = served->artifact;
+
     if (pool_.workers() == 0 || queries.size() <= options_.inlineBelow) {
-        computeRange(queries, rows, 0, queries.size());
+        computeRange(artifact, queries, rows, 0, queries.size());
     } else {
         // Time spent waiting for the batch mutex is the service's
         // queueing latency: concurrent callers serialise here.
@@ -120,7 +235,7 @@ PredictionService::predict(const std::vector<MicroarchConfig> &queries)
             const std::size_t begin = chunk * options_.chunk;
             const std::size_t end =
                 std::min(begin + options_.chunk, queries.size());
-            computeRange(queries, rows, begin, end);
+            computeRange(artifact, queries, rows, begin, end);
         });
     }
 
@@ -133,6 +248,232 @@ PredictionRow
 PredictionService::predictOne(const MicroarchConfig &query)
 {
     return predict({query}).front();
+}
+
+SubmitStatus
+PredictionService::submit(AsyncBatch &batch, TenantId tenant,
+                          const MicroarchConfig &query)
+{
+    if (tenant >= models_.table()->tenantCount())
+        return SubmitStatus::UnknownTenant;
+    ACDSE_CHECK(batch.submitted_ < batch.capacity(),
+                "AsyncBatch over capacity: wait() and reset() first");
+
+    ServeRequest request;
+    request.batch = &batch;
+    request.index = static_cast<std::uint32_t>(batch.submitted_);
+    request.tenant = tenant;
+    request.enqueuedNs = obs::kEnabled ? obs::nowNs() : 0;
+    request.config = query;
+
+    // Raise pending before the push: the drainer may complete the
+    // request before tryPush even returns, and the decrement must
+    // never observe zero.
+    batch.pending_.fetch_add(1, std::memory_order_relaxed);
+    if (!ring_.tryPush(request)) {
+        batch.pending_.fetch_sub(1, std::memory_order_relaxed);
+        requestsShed_.add();
+        return SubmitStatus::QueueFull;
+    }
+    batch.submitted_++;
+    requestsAccepted_.add();
+
+    // Only pay for the lock when the drainer actually parked; the
+    // bounded park (kDrainParkNs) covers the race where it sets
+    // sleeping_ after this load.
+    if (sleeping_.load(std::memory_order_relaxed)) {
+        MutexLock lock(drainMutex_);
+        drainCv_.notifyOne();
+    }
+    return SubmitStatus::Accepted;
+}
+
+std::size_t
+PredictionService::drainOnce()
+{
+    ACDSE_CHECK(!options_.startDrainer,
+                "drainOnce() requires startDrainer=false; the drainer "
+                "thread owns the consumer role otherwise");
+    std::vector<ServeRequest> requests(options_.drainBatch);
+    const std::size_t n =
+        ring_.popInto(requests.data(), requests.size());
+    if (n != 0)
+        serveDrained(requests.data(), n);
+    return n;
+}
+
+void
+PredictionService::drainLoop()
+{
+    std::vector<ServeRequest> requests(options_.drainBatch);
+    int idlePolls = 0;
+    while (true) {
+        const std::size_t n =
+            ring_.popInto(requests.data(), requests.size());
+        if (n != 0) {
+            idlePolls = 0;
+            serveDrained(requests.data(), n);
+            continue;
+        }
+        if (stop_.load(std::memory_order_acquire)) {
+            // Producers observed by tryPush before our last pop are
+            // all drained (n == 0 above); new submits after stop_ are
+            // the destructor's race to lose, and it joins us only
+            // after setting stop_, so nothing accepted is stranded.
+            return;
+        }
+        if (++idlePolls < kDrainSpinPolls)
+            continue;
+        // Park with a bounded deadline: sleeping_ tells producers to
+        // nudge us, the deadline covers the set-after-check race.
+        sleeping_.store(true, std::memory_order_relaxed);
+        {
+            MutexLock lock(drainMutex_);
+            drainCv_.waitFor(drainMutex_, kDrainParkNs);
+        }
+        sleeping_.store(false, std::memory_order_relaxed);
+        idlePolls = 0;
+    }
+}
+
+obs::Counter &
+PredictionService::tenantCounter(TenantId tenant)
+{
+    // Drainer-thread-only cache; registry interning is the slow path
+    // taken once per tenant.
+    if (tenant >= tenantPoints_.size())
+        tenantPoints_.resize(tenant + 1, nullptr);
+    if (tenantPoints_[tenant] == nullptr) {
+        const std::vector<std::string> names = models_.tenantNames();
+        ACDSE_CHECK(tenant < names.size(), "tenant ", tenant,
+                    " has no registered name");
+        tenantPoints_[tenant] = &registry_.counter(
+            "serve/tenant/" + names[tenant] + "/points");
+    }
+    return *tenantPoints_[tenant];
+}
+
+void
+PredictionService::serveDrained(ServeRequest *requests,
+                                std::size_t count)
+{
+    const std::uint64_t start = obs::kEnabled ? obs::nowNs() : 0;
+
+    // One acquire load pins the model epoch for every request in this
+    // drain; the shared_ptr keeps superseded models alive until the
+    // last such pin drops (serve/model_table.hh).
+    const std::shared_ptr<const ModelTable> table = models_.table();
+
+    // Group requests by tenant (stable counting sort by tenant id) so
+    // each group runs its model's SIMD block kernels over contiguous
+    // feature rows.
+    std::vector<std::uint32_t> order(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return requests[a].tenant < requests[b].tenant;
+                     });
+
+    std::vector<double> features;
+    std::vector<std::vector<double>> outs;
+    std::vector<double> soa(kNumParams * simd::kLanes);
+    BatchPredictScratch scratch;
+
+    std::size_t groupBegin = 0;
+    while (groupBegin < count) {
+        const TenantId tenant = requests[order[groupBegin]].tenant;
+        std::size_t groupEnd = groupBegin + 1;
+        while (groupEnd < count &&
+               requests[order[groupEnd]].tenant == tenant)
+            ++groupEnd;
+        const std::size_t n = groupEnd - groupBegin;
+        const ServedModel *served = table->modelFor(tenant);
+
+        if (served == nullptr) {
+            // Registered tenant, nothing published yet: answer NaN
+            // rows stamped version 0 rather than failing the request.
+            for (std::size_t g = groupBegin; g < groupEnd; ++g) {
+                const ServeRequest &req = requests[order[g]];
+                req.batch->rows_[req.index].values.fill(
+                    std::numeric_limits<double>::quiet_NaN());
+                req.batch->versions_[req.index] = 0;
+            }
+        } else {
+            features.resize(n * kNumParams);
+            for (std::size_t i = 0; i < n; ++i) {
+                const ServeRequest &req =
+                    requests[order[groupBegin + i]];
+                req.config.featuresInto(&features[i * kNumParams]);
+                req.batch->rows_[req.index].values.fill(
+                    std::numeric_limits<double>::quiet_NaN());
+                req.batch->versions_[req.index] = served->version;
+            }
+            // Full SIMD blocks transpose to feature-major once,
+            // shared across every metric's block kernel; the
+            // remainder takes the ordinary batch path. Bit-identical
+            // to predict() (the explorer uses the same tiling).
+            const auto &entries = served->artifact.entries();
+            outs.resize(entries.size());
+            for (auto &metricOut : outs)
+                metricOut.resize(n);
+            const std::size_t full = n - n % simd::kLanes;
+            for (std::size_t base = 0; base < full;
+                 base += simd::kLanes) {
+                simd::transposeBlock(features.data() +
+                                         base * kNumParams,
+                                     kNumParams, soa.data());
+                for (std::size_t k = 0; k < entries.size(); ++k) {
+                    entries[k].predictor.predictBlockSoaFromFeatures(
+                        soa.data(), outs[k].data() + base, scratch);
+                }
+            }
+            if (full < n) {
+                for (std::size_t k = 0; k < entries.size(); ++k) {
+                    entries[k].predictor.predictBatchFromFeatures(
+                        features.data() + full * kNumParams, n - full,
+                        outs[k].data() + full, scratch);
+                }
+            }
+            for (std::size_t k = 0; k < entries.size(); ++k) {
+                const auto metric =
+                    static_cast<std::size_t>(entries[k].metric);
+                for (std::size_t i = 0; i < n; ++i) {
+                    const ServeRequest &req =
+                        requests[order[groupBegin + i]];
+                    req.batch->rows_[req.index].values[metric] =
+                        outs[k][i];
+                }
+            }
+        }
+
+        if constexpr (obs::kEnabled)
+            tenantCounter(tenant).add(n);
+        groupBegin = groupEnd;
+    }
+
+    // Complete every request: the release decrement publishes the row
+    // and version to the producer's acquire in AsyncBatch::wait().
+    for (std::size_t i = 0; i < count; ++i) {
+        const ServeRequest &req = requests[i];
+        if constexpr (obs::kEnabled) {
+            const std::uint64_t latency =
+                obs::nowNs() - req.enqueuedNs;
+            requestLatencyNs_.record(latency);
+            latencyReservoir_.record(latency);
+        }
+        if (req.batch->pending_.fetch_sub(
+                1, std::memory_order_release) == 1)
+            req.batch->pending_.notify_all();
+    }
+
+    if constexpr (obs::kEnabled) {
+        pointsServed_.add(count);
+        // The drain ran entirely on this thread but interleaves with
+        // popInto bookkeeping; record the stage directly (no
+        // TraceSpan in the drain loop).
+        drainStage_.record(obs::nowNs() - start, 0);
+    }
 }
 
 void
@@ -160,6 +501,8 @@ PredictionService::stats() const
     ServiceStats out;
     out.batches = batchStage_.spans().value();
     out.points = pointsServed_.value();
+    out.requests = requestsAccepted_.value();
+    out.rejected = requestsShed_.value();
     out.totalMs =
         static_cast<double>(batchStage_.totalNs().value()) / 1e6;
     out.lastMs = static_cast<double>(
@@ -182,6 +525,13 @@ obs::Snapshot
 PredictionService::statsSnapshot() const
 {
     return registry_.snapshot();
+}
+
+double
+PredictionService::requestLatencyQuantileMs(double q) const
+{
+    const obs::ReservoirSnapshot sample = latencyReservoir_.read();
+    return static_cast<double>(sample.quantile(q)) / 1e6;
 }
 
 void

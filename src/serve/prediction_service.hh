@@ -1,29 +1,48 @@
 /**
  * @file
- * The prediction server: batched design-space queries against a loaded
- * model artifact, executed on the shared work scheduler
- * (base/thread_pool).
+ * The prediction server: design-space queries against versioned model
+ * artifacts, with two request paths and zero-downtime model swaps.
  *
  * One query is a 13-parameter MicroarchConfig; the answer is the
- * predicted value of every metric the artifact carries (cycles,
- * energy, ED, EDD). Prediction is pure floating-point arithmetic over
- * the trained ANN ensemble -- microseconds per point -- so the service
- * splits each batch into fixed-size chunks and parallelFor()s them:
- * every chunk writes a disjoint slice of the result vector, which is
- * both lock-free and bit-deterministic at any thread count. Within a
- * chunk each metric's ensemble runs its vectorised batch kernel
- * (ArchitectureCentricPredictor::predictBatchFromFeatures) over all
- * chunk points at once -- one point per SIMD lane -- which is where
- * the per-point arithmetic cost actually drops.
+ * predicted value of every metric the serving artifact carries
+ * (cycles, energy, ED, EDD), stamped with the model version that
+ * produced it.
  *
- * Per-batch latency and lifetime throughput counters are kept so a
- * deployment can watch the serving path (see ServiceStats and
- * bench/bench_serve_throughput.cc).
+ * Request paths:
+ *
+ *  - predict(): the synchronous batch path. The caller's batch is
+ *    split into fixed-size chunks and parallelFor()d across the
+ *    service's ThreadPool; every chunk writes a disjoint slice of the
+ *    result vector, which is both lock-free and bit-deterministic at
+ *    any thread count.
+ *
+ *  - submit()/AsyncBatch: the ingest path for many concurrent
+ *    producers. Each request travels a bounded lock-free MPSC ring
+ *    (serve/ring_buffer.hh) to a dedicated drainer thread that forms
+ *    SIMD-sized batches and runs the vectorised block kernels
+ *    (predictBlockSoaFromFeatures) -- bit-identical to predict() on
+ *    the same model. A full ring fails submit() with
+ *    SubmitStatus::QueueFull immediately (typed load-shedding, never
+ *    unbounded queueing), counted under serve/shed.
+ *
+ * Hot swap: models live in a ModelRegistry (serve/model_table.hh).
+ * publish() atomically replaces a tenant's model; batches in flight
+ * finish on the snapshot they pinned, new batches see the new
+ * version, and no request fails or blocks across the swap. Multiple
+ * tenants map independently to models; per-tenant served-point
+ * counters appear as serve/tenant/<name>/points.
+ *
+ * Per-batch latency, lifetime throughput and per-request latency
+ * (log2 histogram + exact-quantile reservoir) are kept so a
+ * deployment can watch the serving path (ServiceStats,
+ * bench/bench_serve_latency.cc).
  *
  * Environment knobs:
  *  - ACDSE_SERVE_THREADS  serving threads; unset falls through to the
  *                         shared sizing rule (ACDSE_THREADS, else the
  *                         hardware parallelism)
+ *  - ACDSE_SERVE_QUEUE    ingest ring capacity (rounded to a power of
+ *                         two); unset keeps ServeOptions::maxQueue
  */
 
 #pragma once
@@ -31,7 +50,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/microarch_config.hh"
@@ -39,6 +60,8 @@
 #include "base/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "serve/model_store.hh"
+#include "serve/model_table.hh"
+#include "serve/ring_buffer.hh"
 #include "sim/metrics.hh"
 
 namespace acdse
@@ -62,6 +85,24 @@ struct ServeOptions
      * thread: waking the pool costs more than the work itself.
      */
     std::size_t inlineBelow = 128;
+
+    /**
+     * Ingest ring capacity in requests (rounded up to a power of
+     * two). A full ring rejects submit() with QueueFull -- size it
+     * for the burst you want to absorb, not the backlog you want to
+     * hide.
+     */
+    std::size_t maxQueue = std::size_t{1} << 14;
+
+    /** Most requests the drainer folds into one prediction batch. */
+    std::size_t drainBatch = 256;
+
+    /**
+     * Spin the drainer thread up on construction. Tests that need a
+     * deterministic ingest schedule (e.g. proving QueueFull fires)
+     * set this false and pump the queue with drainOnce().
+     */
+    bool startDrainer = true;
 
     /**
      * When non-empty, the service dumps its metrics (acdse-stats-v1,
@@ -90,6 +131,98 @@ struct PredictionRow
     }
 };
 
+/** Outcome of one submit() call (the async ingest path). */
+enum class SubmitStatus
+{
+    Accepted,      //!< enqueued; the row arrives via AsyncBatch::wait
+    QueueFull,     //!< ring full: request shed, nothing enqueued
+    UnknownTenant, //!< tenant id was never registered
+};
+
+class PredictionService;
+
+/**
+ * The completion handle for one producer's in-flight requests on the
+ * async path: the producer submit()s up to capacity() requests
+ * against it, wait()s, then reads rows() and versions().
+ *
+ * Thread model: one producer per batch. submit() bookkeeping on the
+ * batch is deliberately unsynchronised between producers (each
+ * producer owns its own AsyncBatch); completion travels from the
+ * drainer with release/acquire on the pending count, so after wait()
+ * returns every row and version stamp is visible. A batch must not be
+ * destroyed with requests in flight (wait() first); it may be
+ * reset() and reused.
+ */
+class AsyncBatch
+{
+  public:
+    /** @param capacity most requests this handle can carry at once. */
+    explicit AsyncBatch(std::size_t capacity);
+
+    AsyncBatch(const AsyncBatch &) = delete;
+    AsyncBatch &operator=(const AsyncBatch &) = delete;
+
+    /** Most requests this handle can carry between resets. */
+    std::size_t capacity() const { return rows_.size(); }
+
+    /** Requests accepted against this handle since the last reset. */
+    std::size_t submitted() const { return submitted_; }
+
+    /** Requests accepted but not yet completed by the drainer. */
+    std::size_t inFlight() const
+    {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+    /** Block until every accepted request has completed. */
+    void wait() const;
+
+    /**
+     * Result rows, indexed by submission order. Valid for indices
+     * < submitted() once wait() returned.
+     */
+    const std::vector<PredictionRow> &rows() const { return rows_; }
+
+    /** The model version that served each row (0 = no model). */
+    const std::vector<std::uint64_t> &versions() const
+    {
+        return versions_;
+    }
+
+    /** Forget completed results and start a fresh round of submits. */
+    void reset();
+
+  private:
+    friend class PredictionService;
+
+    std::vector<PredictionRow> rows_;
+    std::vector<std::uint64_t> versions_;
+
+    /** Producer-side cursor: next row index to hand out. */
+    std::size_t submitted_ = 0;
+
+    /**
+     * Requests enqueued but not yet completed. The drainer's final
+     * fetch_sub(release) pairs with the waiter's acquire loads, which
+     * is what publishes rows_/versions_ back to the producer.
+     */
+    std::atomic<std::uint32_t> pending_{0};
+};
+
+/**
+ * One queued request travelling the ingest ring from a producer
+ * thread to the drainer.
+ */
+struct ServeRequest
+{
+    AsyncBatch *batch = nullptr; //!< completion handle
+    std::uint32_t index = 0;     //!< row slot within the batch
+    TenantId tenant = 0;         //!< model routing key
+    std::uint64_t enqueuedNs = 0; //!< submit timestamp (latency)
+    MicroarchConfig config{};    //!< the query point
+};
+
 /**
  * Snapshot of the service's serving counters, derived from the
  * service's private metrics registry (src/obs). With ACDSE_OBS=OFF the
@@ -99,6 +232,8 @@ struct ServiceStats
 {
     std::uint64_t batches = 0;  //!< batches served
     std::uint64_t points = 0;   //!< query points served
+    std::uint64_t requests = 0; //!< async requests accepted
+    std::uint64_t rejected = 0; //!< async requests shed (QueueFull)
     double totalMs = 0.0;       //!< summed batch latencies
     double lastMs = 0.0;        //!< latency of the most recent batch
     double minMs = 0.0;         //!< fastest batch so far
@@ -120,18 +255,22 @@ struct ServiceStats
 };
 
 /**
- * A running prediction server over one model artifact.
+ * A running prediction server over versioned, hot-swappable model
+ * artifacts.
  *
  * Thread model: the service owns a ThreadPool that parallelises
- * *within* one batch; concurrent predict() callers are serialised (the
- * artifact's models are shared read-only, so this is a simplicity
- * choice, not a safety one). Construction spins the pool up;
- * destruction drains and joins it.
+ * *within* one predict() batch; concurrent predict() callers are
+ * serialised on batchMutex_ (a simplicity choice -- the artifacts are
+ * shared read-only). submit() is safe from any number of threads
+ * concurrently with everything else, including publish(). The drainer
+ * thread is the ring's single consumer; destruction stops it, drains
+ * the ring to completion (no accepted request is ever dropped) and
+ * joins.
  */
 class PredictionService
 {
   public:
-    /** Serve an in-memory artifact. */
+    /** Serve an in-memory artifact (published as the default tenant). */
     explicit PredictionService(ModelArtifact artifact,
                                ServeOptions options =
                                    ServeOptions::fromEnvironment());
@@ -147,20 +286,57 @@ class PredictionService
     PredictionService(const PredictionService &) = delete;
     PredictionService &operator=(const PredictionService &) = delete;
 
-    /** The artifact being served. */
-    const ModelArtifact &artifact() const { return artifact_; }
+    ~PredictionService();
 
-    /** The metrics this service predicts. */
-    std::vector<Metric> metrics() const { return artifact_.metrics(); }
+    /**
+     * The model currently serving @p tenant (never null for the
+     * default tenant; null for a registered tenant with no publish
+     * yet). The returned epoch snapshot stays valid -- and
+     * bit-stable -- however many publishes happen after it.
+     */
+    std::shared_ptr<const ServedModel>
+    model(TenantId tenant = kDefaultTenant) const;
+
+    /** The metrics the default tenant's model predicts. */
+    std::vector<Metric> metrics() const;
+
+    /** Register a tenant (idempotent by name); see ModelRegistry. */
+    TenantId registerTenant(const std::string &name);
+
+    /** The id for @p name, or ModelRegistry::kInvalidTenant. */
+    TenantId findTenant(const std::string &name) const;
+
+    /**
+     * Hot-swap @p tenant's model. Returns the new registry-global
+     * version. In-flight batches finish on the model they pinned; no
+     * request fails or blocks. Panics on an invalid artifact.
+     */
+    std::uint64_t publish(TenantId tenant, ModelArtifact artifact);
+
+    /** publish() to the default tenant. */
+    std::uint64_t publish(ModelArtifact artifact)
+    {
+        return publish(kDefaultTenant, std::move(artifact));
+    }
+
+    /** The most recently assigned model version. */
+    std::uint64_t currentVersion() const
+    {
+        return models_.currentVersion();
+    }
 
     /** Number of pool workers (excluding the calling thread). */
     std::size_t poolThreads() const { return pool_.workers(); }
 
+    /** Ingest ring capacity (power of two; see ServeOptions). */
+    std::size_t queueCapacity() const { return ring_.capacity(); }
+
     /**
-     * Predict every artifact metric for a batch of query points.
-     * Returns one row per query, in order. Not reentrant from inside
-     * its own batch (ACDSE_EXCLUDES: callers must not already hold
-     * the batch lock).
+     * Predict every default-tenant metric for a batch of query
+     * points; returns one row per query, in order, served from one
+     * model snapshot (a publish() during the batch takes effect on
+     * the next one). Not reentrant from inside its own batch
+     * (ACDSE_EXCLUDES: callers must not already hold the batch lock).
      */
     std::vector<PredictionRow> predict(
         const std::vector<MicroarchConfig> &queries)
@@ -168,6 +344,30 @@ class PredictionService
 
     /** Predict a single point (counts as a batch of one). */
     PredictionRow predictOne(const MicroarchConfig &query);
+
+    /**
+     * Enqueue one query on the async ingest path. On Accepted the
+     * result lands in @p batch at row index batch.submitted()-1 once
+     * the drainer completes it (AsyncBatch::wait). QueueFull and
+     * UnknownTenant reject without blocking and leave @p batch
+     * unchanged. Safe from any thread; one producer per AsyncBatch.
+     */
+    SubmitStatus submit(AsyncBatch &batch, TenantId tenant,
+                        const MicroarchConfig &query);
+
+    /** submit() for the default tenant. */
+    SubmitStatus submit(AsyncBatch &batch, const MicroarchConfig &query)
+    {
+        return submit(batch, kDefaultTenant, query);
+    }
+
+    /**
+     * Drain up to options.drainBatch queued requests on the calling
+     * thread; returns the number served. Only legal with
+     * startDrainer=false (CHECKed): it exists so tests can pump the
+     * ingest path deterministically.
+     */
+    std::size_t drainOnce();
 
     /** Snapshot the serving counters. */
     ServiceStats stats() const;
@@ -177,26 +377,44 @@ class PredictionService
 
     /**
      * Full snapshot of the service's private metrics registry:
-     * serve/batch and serve/chunk stages, serve/points counter,
-     * serve/batch-points and serve/queue-wait-ns histograms. Callers
-     * merge this with the global registry's snapshot for export.
+     * serve/batch, serve/chunk and serve/drain stages, serve/points
+     * and per-tenant counters, request-latency histogram + reservoir.
+     * Callers merge this with the global registry's snapshot for
+     * export.
      */
     obs::Snapshot statsSnapshot() const;
+
+    /**
+     * Exact per-request latency quantile in milliseconds from the
+     * async path's reservoir (0 when no async requests were served or
+     * ACDSE_OBS=OFF). @p q in [0, 1].
+     */
+    double requestLatencyQuantileMs(double q) const;
 
     /** Write statsSnapshot() to options.statsPath (no-op if unset). */
     void dumpStats() const;
 
   private:
-    /** Predict queries[begin, end) into rows. */
-    void computeRange(const std::vector<MicroarchConfig> &queries,
-                      std::vector<PredictionRow> &rows, std::size_t begin,
-                      std::size_t end) const;
+    /** Predict queries[begin, end) into rows with @p artifact. */
+    void computeRange(const ModelArtifact &artifact,
+                      const std::vector<MicroarchConfig> &queries,
+                      std::vector<PredictionRow> &rows,
+                      std::size_t begin, std::size_t end) const;
 
     /** Fold one finished batch into the registry. */
     void recordBatch(std::size_t points, std::uint64_t elapsedNs);
 
-    ModelArtifact artifact_;
+    /** The drainer thread: pop, batch, predict, complete, repeat. */
+    void drainLoop();
+
+    /** Serve @p count drained requests against the current table. */
+    void serveDrained(ServeRequest *requests, std::size_t count);
+
+    /** Drainer-side cache of the per-tenant served-point counters. */
+    obs::Counter &tenantCounter(TenantId tenant);
+
     ServeOptions options_;
+    ModelRegistry models_;
     ThreadPool pool_;
 
     // Serialises public predict() callers.
@@ -208,10 +426,39 @@ class PredictionService
     obs::Registry registry_;
     obs::Stage &batchStage_;
     obs::Stage &chunkStage_;
+    obs::Stage &drainStage_;
     obs::Counter &pointsServed_;
+    obs::Counter &requestsAccepted_;
+    obs::Counter &requestsShed_;
     obs::Histogram &batchPoints_;
     obs::Histogram &queueWaitNs_;
+    obs::Histogram &requestLatencyNs_;
+    obs::Reservoir &latencyReservoir_;
     std::atomic<std::uint64_t> lastBatchNs_{0};
+
+    // The async ingest path: producers push, the drainer pops.
+    MpscRing<ServeRequest> ring_;
+    std::atomic<bool> stop_{false};
+
+    /**
+     * Set by the drainer just before parking on drainCv_; submit()
+     * only takes the wake-up lock when it observes the flag, so the
+     * steady-state producer path stays lock-free. The park is bounded
+     * (CondVar::waitFor), so a lost wake-up costs one deadline, never
+     * a hang.
+     */
+    std::atomic<bool> sleeping_{false};
+    Mutex drainMutex_;
+    CondVar drainCv_;
+
+    /**
+     * Drainer-thread-only: tenant id -> interned per-tenant counter.
+     * Not guarded -- single-thread access by construction (the
+     * drainer, or the drainOnce() caller when startDrainer=false).
+     */
+    std::vector<obs::Counter *> tenantPoints_;
+
+    std::thread drainer_;
 };
 
 } // namespace acdse

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -325,6 +326,152 @@ TEST(ObsExport, StatsJsonRoundTrips)
         EXPECT_EQ(hist.at("count").asNumber(), 0.0);
         EXPECT_TRUE(hist.at("buckets").array.empty());
         EXPECT_EQ(stage.at("count").asNumber(), 0.0);
+    }
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBuckets)
+{
+    Histogram hist;
+    // 100 samples of 10 and one of 1000: the p50 lands inside the
+    // bucket holding 10 and the p999 inside the bucket holding 1000.
+    for (int i = 0; i < 100; ++i)
+        hist.record(10);
+    hist.record(1000);
+    const HistogramSnapshot snap = hist.read();
+    if constexpr (kEnabled) {
+        const double p50 = snap.quantile(0.50);
+        EXPECT_GT(p50, 0.0);
+        EXPECT_LE(p50,
+                  static_cast<double>(Histogram::bucketHigh(
+                      Histogram::bucketOf(10))));
+        const double p999 = snap.quantile(0.999);
+        EXPECT_GT(p999, p50);
+        EXPECT_LE(p999,
+                  static_cast<double>(Histogram::bucketHigh(
+                      Histogram::bucketOf(1000))));
+        // Degenerate edges.
+        EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+    } else {
+        EXPECT_EQ(snap.quantile(0.5), 0.0);
+    }
+}
+
+TEST(ObsReservoir, ExactQuantilesBelowCapacity)
+{
+    Reservoir reservoir;
+    // 1..1000 in a shuffled-ish order; fewer offers than capacity
+    // (4096), so the sample is the exact stream.
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        reservoir.record((i * 617) % 1000 + 1);
+    const ReservoirSnapshot snap = reservoir.read();
+    if constexpr (kEnabled) {
+        EXPECT_EQ(snap.count, 1000u);
+        EXPECT_EQ(snap.samples.size(), 1000u);
+        // Nearest-rank on the full stream is exact.
+        EXPECT_EQ(snap.quantile(0.0), 1u);
+        EXPECT_EQ(snap.quantile(1.0), 1000u);
+        EXPECT_EQ(snap.quantile(0.5), 500u);
+        EXPECT_EQ(snap.quantile(0.99), 990u);
+    } else {
+        EXPECT_EQ(snap.count, 0u);
+        EXPECT_EQ(snap.quantile(0.5), 0u);
+    }
+}
+
+TEST(ObsReservoir, DeterministicBeyondCapacityAndResettable)
+{
+    // Algorithm R with splitmix64(n) randomness: the retained sample
+    // is a pure function of the offer sequence, so two identical runs
+    // agree exactly (the repo's deterministic-rng rule).
+    const std::size_t total = Reservoir::kReservoirCapacity * 3;
+    auto fill = [&](Reservoir &reservoir) {
+        for (std::uint64_t i = 0; i < total; ++i)
+            reservoir.record(i);
+    };
+    Reservoir a;
+    Reservoir b;
+    fill(a);
+    fill(b);
+    const ReservoirSnapshot sa = a.read();
+    const ReservoirSnapshot sb = b.read();
+    if constexpr (kEnabled) {
+        EXPECT_EQ(sa.count, total);
+        EXPECT_EQ(sa.samples.size(), Reservoir::kReservoirCapacity);
+        EXPECT_EQ(sa.samples, sb.samples);
+        // The subsample still spans the stream's range roughly.
+        EXPECT_LT(sa.quantile(0.1), sa.quantile(0.9));
+    }
+    a.reset();
+    const ReservoirSnapshot cleared = a.read();
+    EXPECT_EQ(cleared.count, 0u);
+    EXPECT_TRUE(cleared.samples.empty());
+}
+
+TEST(ObsReservoir, RegistryInternsAndExports)
+{
+    Registry registry;
+    Reservoir &res = registry.reservoir("lat");
+    EXPECT_EQ(&res, &registry.reservoir("lat"));
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        res.record(i * 1000);
+
+    const Snapshot snap = registry.snapshot();
+    const std::string json = statsToJson(snap);
+    const testjson::Value doc = testjson::parse(json);
+    ASSERT_TRUE(doc.at("reservoirs").isObject());
+    const testjson::Value &exported = doc.at("reservoirs").at("lat");
+    if constexpr (kEnabled) {
+        EXPECT_EQ(snap.reservoirs.at("lat").count, 100u);
+        EXPECT_EQ(exported.at("count").asNumber(), 100.0);
+        EXPECT_EQ(exported.at("retained").asNumber(), 100.0);
+        EXPECT_EQ(exported.at("p50").asNumber(), 50000.0);
+        EXPECT_EQ(exported.at("p99").asNumber(), 99000.0);
+        EXPECT_GE(exported.at("p999").asNumber(),
+                  exported.at("p99").asNumber());
+        // Histogram export now carries quantile keys too.
+        Registry histReg;
+        histReg.histogram("h").record(7);
+        const testjson::Value hdoc = testjson::parse(
+            statsToJson(histReg.snapshot()));
+        EXPECT_GT(hdoc.at("histograms").at("h").at("p50").asNumber(),
+                  0.0);
+    } else {
+        EXPECT_EQ(exported.at("count").asNumber(), 0.0);
+        EXPECT_EQ(exported.at("p99").asNumber(), 0.0);
+    }
+
+    registry.reset();
+    EXPECT_EQ(registry.reservoir("lat").read().count, 0u);
+}
+
+TEST(ObsSnapshot, ReservoirMergeAndDiff)
+{
+    Registry a;
+    Registry b;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        a.reservoir("r").record(100 + i);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        b.reservoir("r").record(10000 + i);
+
+    Snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    if constexpr (kEnabled) {
+        EXPECT_EQ(merged.reservoirs.at("r").count, 15u);
+        EXPECT_EQ(merged.reservoirs.at("r").samples.size(), 15u);
+        // Merged samples stay sorted for nearest-rank quantiles.
+        EXPECT_TRUE(std::is_sorted(
+            merged.reservoirs.at("r").samples.begin(),
+            merged.reservoirs.at("r").samples.end()));
+    }
+
+    const Snapshot before = b.snapshot();
+    b.reservoir("r").record(20000);
+    const Snapshot delta = diff(before, b.snapshot());
+    if constexpr (kEnabled) {
+        // Reservoir diffs keep the after-sample; the count is the
+        // true delta.
+        EXPECT_EQ(delta.reservoirs.at("r").count, 1u);
+        EXPECT_EQ(delta.reservoirs.at("r").samples.size(), 6u);
     }
 }
 

@@ -244,5 +244,182 @@ TEST(PredictionServiceDeathTest, RejectsUnfittedArtifact)
                  "no fitted responses");
 }
 
+TEST(PredictionService, AsyncPathMatchesSyncExactly)
+{
+    const ModelArtifact artifact = twoMetricArtifact();
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service(artifact, options);
+
+    const auto queries = DesignSpace::sampleValidConfigs(50, 8);
+    const auto expected = service.predict(queries);
+
+    AsyncBatch batch(queries.size());
+    for (const auto &query : queries)
+        ASSERT_EQ(service.submit(batch, query),
+                  SubmitStatus::Accepted);
+    batch.wait();
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        // The drainer's SIMD block path is bit-identical to the
+        // synchronous chunked path (both match the raw predictor).
+        EXPECT_EQ(batch.rows()[i].get(Metric::Cycles),
+                  expected[i].get(Metric::Cycles));
+        EXPECT_EQ(batch.rows()[i].get(Metric::Energy),
+                  expected[i].get(Metric::Energy));
+        // Every row is stamped with the serving version (the
+        // constructor's publish is version 1).
+        EXPECT_EQ(batch.versions()[i], 1u);
+    }
+    if constexpr (obs::kEnabled) {
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.requests, queries.size());
+        EXPECT_EQ(stats.rejected, 0u);
+    }
+}
+
+TEST(PredictionService, QueueFullShedsTyped)
+{
+    ServeOptions options;
+    options.threads = 1;
+    options.maxQueue = kMinRingCapacity; // 8 slots
+    options.startDrainer = false;        // deterministic: no consumer
+    PredictionService service(twoMetricArtifact(), options);
+    EXPECT_EQ(service.queueCapacity(), kMinRingCapacity);
+
+    const auto queries =
+        DesignSpace::sampleValidConfigs(kMinRingCapacity + 4, 9);
+    AsyncBatch batch(queries.size());
+
+    // With no drainer running the ring fills at exactly capacity;
+    // every further submit is a typed rejection, not a block.
+    for (std::size_t i = 0; i < kMinRingCapacity; ++i)
+        ASSERT_EQ(service.submit(batch, queries[i]),
+                  SubmitStatus::Accepted);
+    for (std::size_t i = kMinRingCapacity; i < queries.size(); ++i)
+        ASSERT_EQ(service.submit(batch, queries[i]),
+                  SubmitStatus::QueueFull);
+    EXPECT_EQ(batch.submitted(), kMinRingCapacity);
+    EXPECT_EQ(batch.inFlight(), kMinRingCapacity);
+
+    // Rejections are observable (serve/shed) and stats()-visible.
+    if constexpr (obs::kEnabled) {
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.requests, kMinRingCapacity);
+        EXPECT_EQ(stats.rejected, 4u);
+    }
+
+    // Draining makes room again: the shed requests can be resubmitted
+    // and complete normally.
+    EXPECT_EQ(service.drainOnce(), kMinRingCapacity);
+    EXPECT_EQ(batch.inFlight(), 0u);
+    for (std::size_t i = kMinRingCapacity; i < queries.size(); ++i)
+        ASSERT_EQ(service.submit(batch, queries[i]),
+                  SubmitStatus::Accepted);
+    EXPECT_EQ(service.drainOnce(), 4u);
+    batch.wait();
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_EQ(batch.rows()[i].get(Metric::Cycles),
+                  service.model()->artifact.predictor(Metric::Cycles)
+                      .predict(queries[i]));
+}
+
+TEST(PredictionService, TenantsRouteToTheirOwnModels)
+{
+    ModelArtifact alphaModel;
+    alphaModel.add(Metric::Cycles, trainedPredictor(1.0, 1.0));
+    ModelArtifact betaModel;
+    betaModel.add(Metric::Cycles, trainedPredictor(2.0, 0.5));
+
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service(alphaModel, options);
+    const TenantId beta = service.registerTenant("beta");
+    const TenantId bare = service.registerTenant("bare");
+    service.publish(beta, betaModel);
+    EXPECT_EQ(service.findTenant("beta"), beta);
+    EXPECT_EQ(service.findTenant("nobody"),
+              ModelRegistry::kInvalidTenant);
+
+    const auto queries = DesignSpace::sampleValidConfigs(30, 10);
+    AsyncBatch batch(3 * queries.size());
+    for (const auto &query : queries) {
+        // Interleave tenants so one drained chunk carries all three.
+        ASSERT_EQ(service.submit(batch, kDefaultTenant, query),
+                  SubmitStatus::Accepted);
+        ASSERT_EQ(service.submit(batch, beta, query),
+                  SubmitStatus::Accepted);
+        ASSERT_EQ(service.submit(batch, bare, query),
+                  SubmitStatus::Accepted);
+    }
+    batch.wait();
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const auto &defaultRow = batch.rows()[3 * i];
+        const auto &betaRow = batch.rows()[3 * i + 1];
+        const auto &bareRow = batch.rows()[3 * i + 2];
+        EXPECT_EQ(defaultRow.get(Metric::Cycles),
+                  alphaModel.predictor(Metric::Cycles)
+                      .predict(queries[i]));
+        EXPECT_EQ(betaRow.get(Metric::Cycles),
+                  betaModel.predictor(Metric::Cycles)
+                      .predict(queries[i]));
+        EXPECT_EQ(batch.versions()[3 * i], 1u);
+        EXPECT_EQ(batch.versions()[3 * i + 1], 2u);
+        // A registered tenant with no published model answers NaN
+        // stamped version 0 rather than failing.
+        EXPECT_TRUE(std::isnan(bareRow.get(Metric::Cycles)));
+        EXPECT_EQ(batch.versions()[3 * i + 2], 0u);
+    }
+
+    // An id beyond the table is a typed rejection.
+    EXPECT_EQ(service.submit(batch, TenantId{99}, queries[0]),
+              SubmitStatus::UnknownTenant);
+
+    // Per-tenant served-point counters appear in the snapshot.
+    if constexpr (obs::kEnabled) {
+        const obs::Snapshot snap = service.statsSnapshot();
+        ASSERT_TRUE(
+            snap.counters.count("serve/tenant/default/points"));
+        ASSERT_TRUE(snap.counters.count("serve/tenant/beta/points"));
+        EXPECT_EQ(snap.counters.at("serve/tenant/default/points"),
+                  queries.size());
+        EXPECT_EQ(snap.counters.at("serve/tenant/beta/points"),
+                  queries.size());
+        EXPECT_EQ(snap.counters.at("serve/tenant/bare/points"),
+                  queries.size());
+    }
+}
+
+TEST(PredictionService, AsyncLatencyMetricsPopulate)
+{
+    ServeOptions options;
+    options.threads = 1;
+    PredictionService service(twoMetricArtifact(), options);
+
+    const auto queries = DesignSpace::sampleValidConfigs(20, 13);
+    AsyncBatch batch(queries.size());
+    for (const auto &query : queries)
+        ASSERT_EQ(service.submit(batch, query),
+                  SubmitStatus::Accepted);
+    batch.wait();
+
+    if constexpr (obs::kEnabled) {
+        const obs::Snapshot snap = service.statsSnapshot();
+        ASSERT_TRUE(
+            snap.histograms.count("serve/request-latency-ns"));
+        EXPECT_EQ(snap.histograms.at("serve/request-latency-ns").count,
+                  queries.size());
+        ASSERT_TRUE(snap.reservoirs.count("serve/request-latency"));
+        EXPECT_EQ(snap.reservoirs.at("serve/request-latency").count,
+                  queries.size());
+        // Exact quantiles come from the reservoir; p99 of real
+        // latencies is positive and at least the median.
+        EXPECT_GT(service.requestLatencyQuantileMs(0.99), 0.0);
+        EXPECT_GE(service.requestLatencyQuantileMs(0.99),
+                  service.requestLatencyQuantileMs(0.50));
+    }
+}
+
 } // namespace
 } // namespace acdse

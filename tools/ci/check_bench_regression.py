@@ -1,41 +1,65 @@
 #!/usr/bin/env python3
-"""Gate CI on benchmark throughput: fail when a measured metric drops
-more than ``tolerance`` below its checked-in baseline floor.
+"""Gate CI on benchmark results: fail when a measured metric drops
+more than ``tolerance`` below its checked-in floor, or rises more
+than ``tolerance`` above its checked-in ceiling.
 
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
         [--train BENCH_train.json] [--serve BENCH_serve.json] \
+        [--serve-latency BENCH_serve_latency.json] \
         [--predict-batch BENCH_predict_batch.json] \
         [--explore BENCH_explore.json]
+    check_bench_regression.py --self-test
 
-``bench/baseline.json`` holds conservative *floors*, not point
-measurements::
+``bench/baseline.json`` holds conservative *floors* (throughput:
+higher is better) and *ceilings* (latency: lower is better), not
+point measurements::
 
     {
       "tolerance": 0.20,
       "train": {"metrics": {"loo_folds_per_s_t1": 40.0, ...}},
-      "serve": {"metrics": {"serve_best_pps": 100000.0, ...}}
+      "serve_latency": {
+        "metrics": {"serve_latency_pps": 100000.0},
+        "ceilings": {"serve_latency_p99_us": 400.0}
+      }
     }
 
-A metric passes when ``measured >= floor * (1 - tolerance)``. Metrics
-present in a bench result but absent from the baseline are reported
-but not gated (so new metrics can land before their floor does).
+A floor passes when ``measured >= floor * (1 - tolerance)``; a
+ceiling passes when ``measured <= ceiling * (1 + tolerance)``.
+Metrics present in a bench result but absent from the baseline are
+reported but not gated (so new metrics can land before their gate
+does).
+
+Every bench result is schema-validated before gating: the file must
+be an object with ``schema == "acdse-bench-v1"`` and a ``metrics``
+object mapping names to finite numbers. The baseline itself is
+validated the same way (numeric tolerance, per-bench sections with
+numeric ``metrics``/``ceilings`` maps); a malformed file fails the
+job rather than silently gating nothing.
+
+``--self-test`` runs the embedded test cases (floor pass/fail,
+ceiling pass/fail, missing metric, bad schema, malformed baseline,
+ungated metric) and exits non-zero on any mismatch; CI runs it before
+trusting the gate.
 
 Baseline-ratcheting procedure
 -----------------------------
-Floors are deliberately below what CI runners measure, so routine
-variance never fails a PR; the gate exists to catch large regressions
-(a serialised hot loop, an accidental debug build). To ratchet:
+Floors are deliberately below -- and ceilings above -- what CI
+runners measure, so routine variance never fails a PR; the gate
+exists to catch large regressions (a serialised hot loop, an
+accidental debug build). To ratchet:
 
 1. Collect the ``BENCH_*.json`` artifacts from several recent green
    runs of the ``bench-regression`` job (they are uploaded on every
    run).
-2. For each gated metric take the *minimum* across those runs, then
-   multiply by ~0.5 to absorb runner-to-runner variance.
-3. Edit ``bench/baseline.json`` with the new floor in the same PR that
-   justifies it (an optimisation PR raises floors; floors are only
-   lowered with a comment in the PR explaining why the cost is
-   accepted).
+2. For each gated floor take the *minimum* across those runs, then
+   multiply by ~0.5; for each ceiling take the *maximum* and multiply
+   by ~2 (latency quantiles are noisier than throughput -- p999 on a
+   shared runner deserves the widest margin).
+3. Edit ``bench/baseline.json`` with the new values in the same PR
+   that justifies them (an optimisation PR raises floors / lowers
+   ceilings; gates are only loosened with a comment in the PR
+   explaining why the cost is accepted).
 
 Speedup ratios (``loo_speedup_tmax_over_t1``) are only meaningful on
 multi-core runners; the benches gate those themselves when the
@@ -44,8 +68,25 @@ hardware allows, so the baseline normally omits them.
 
 import argparse
 import json
+import math
 import os
 import sys
+import tempfile
+
+BENCH_SCHEMA = "acdse-bench-v1"
+
+#: CLI flag -> (baseline section, default result path).
+BENCHES = {
+    "train": ("train", "BENCH_train.json"),
+    "serve": ("serve", "BENCH_serve.json"),
+    "serve_latency": ("serve_latency", "BENCH_serve_latency.json"),
+    "predict_batch": ("predict_batch", "BENCH_predict_batch.json"),
+    "explore": ("explore", "BENCH_explore.json"),
+}
+
+
+class ValidationError(Exception):
+    """A bench result or baseline file failed schema validation."""
 
 
 def load(path):
@@ -53,73 +94,137 @@ def load(path):
         return json.load(handle)
 
 
-def check_bench(name, baseline, result_path, tolerance, rows):
-    """Append (metric, floor, measured, status) rows; return failures."""
-    floors = baseline.get(name, {}).get("metrics", {})
+def _require_metric_map(owner, obj, key):
+    """Validate an optional {name: finite number} map under ``key``."""
+    metrics = obj.get(key, {})
+    if not isinstance(metrics, dict):
+        raise ValidationError(f"{owner}: '{key}' must be an object")
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(
+                value, bool) or not math.isfinite(value):
+            raise ValidationError(
+                f"{owner}: metric '{name}' must be a finite number, "
+                f"got {value!r}")
+    return metrics
+
+
+def validate_bench_result(path, doc):
+    """Check an acdse-bench-v1 document; return its metrics map."""
+    if not isinstance(doc, dict):
+        raise ValidationError(f"{path}: top level must be an object")
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValidationError(
+            f"{path}: schema is {schema!r}, expected '{BENCH_SCHEMA}'")
+    if "metrics" not in doc:
+        raise ValidationError(f"{path}: missing 'metrics' object")
+    return _require_metric_map(path, doc, "metrics")
+
+
+def validate_baseline(path, doc):
+    """Check the baseline document; return (tolerance, sections)."""
+    if not isinstance(doc, dict):
+        raise ValidationError(f"{path}: top level must be an object")
+    tolerance = doc.get("tolerance", 0.20)
+    if not isinstance(tolerance, (int, float)) or isinstance(
+            tolerance, bool) or not 0.0 <= tolerance < 1.0:
+        raise ValidationError(
+            f"{path}: tolerance must be a number in [0, 1), got "
+            f"{tolerance!r}")
+    sections = {}
+    for name, section in doc.items():
+        if name.startswith("_") or name == "tolerance":
+            continue
+        if not isinstance(section, dict):
+            raise ValidationError(
+                f"{path}: section '{name}' must be an object")
+        floors = _require_metric_map(f"{path}:{name}", section,
+                                     "metrics")
+        ceilings = _require_metric_map(f"{path}:{name}", section,
+                                       "ceilings")
+        overlap = set(floors) & set(ceilings)
+        if overlap:
+            raise ValidationError(
+                f"{path}:{name}: {sorted(overlap)} appear as both "
+                "floor and ceiling")
+        sections[name] = (floors, ceilings)
+    return float(tolerance), sections
+
+
+def check_bench(name, section, result_path, tolerance, rows):
+    """Append (metric, gate, measured, status) rows; return failures."""
+    floors, ceilings = section
     if not os.path.exists(result_path):
         rows.append((name, "-", "-", f"MISSING {result_path}"))
         return 1
-    result = load(result_path)
-    if result.get("schema") != "acdse-bench-v1":
-        rows.append((name, "-", "-",
-                     f"BAD SCHEMA {result.get('schema')!r}"))
+    try:
+        measured = validate_bench_result(result_path,
+                                         load(result_path))
+    except (ValidationError, json.JSONDecodeError) as err:
+        rows.append((name, "-", "-", f"BAD SCHEMA ({err})"))
         return 1
-    measured = result.get("metrics", {})
     failures = 0
-    for metric in sorted(set(floors) | set(measured)):
-        if metric not in floors:
+    for metric in sorted(set(floors) | set(ceilings) | set(measured)):
+        if metric in floors:
+            gate = f">= {floors[metric]:.2f}"
+            if metric not in measured:
+                rows.append((metric, gate, "-",
+                             "FAIL (not measured)"))
+                failures += 1
+                continue
+            minimum = floors[metric] * (1.0 - tolerance)
+            ok = measured[metric] >= minimum
+            status = "ok" if ok else f"FAIL (< {minimum:.2f})"
+        elif metric in ceilings:
+            gate = f"<= {ceilings[metric]:.2f}"
+            if metric not in measured:
+                rows.append((metric, gate, "-",
+                             "FAIL (not measured)"))
+                failures += 1
+                continue
+            maximum = ceilings[metric] * (1.0 + tolerance)
+            ok = measured[metric] <= maximum
+            status = "ok" if ok else f"FAIL (> {maximum:.2f})"
+        else:
             rows.append((metric, "-", f"{measured[metric]:.2f}",
                          "ungated"))
             continue
-        if metric not in measured:
-            rows.append((metric, f"{floors[metric]:.2f}", "-",
-                         "FAIL (not measured)"))
-            failures += 1
-            continue
-        minimum = floors[metric] * (1.0 - tolerance)
-        ok = measured[metric] >= minimum
-        rows.append((metric, f"{floors[metric]:.2f}",
-                     f"{measured[metric]:.2f}",
-                     "ok" if ok else f"FAIL (< {minimum:.2f})"))
+        rows.append((metric, gate, f"{measured[metric]:.2f}", status))
         failures += 0 if ok else 1
     return failures
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--train", default="BENCH_train.json")
-    parser.add_argument("--serve", default="BENCH_serve.json")
-    parser.add_argument("--predict-batch",
-                        default="BENCH_predict_batch.json")
-    parser.add_argument("--explore", default="BENCH_explore.json")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    tolerance = float(baseline.get("tolerance", 0.20))
-
-    rows = []
-    failures = 0
-    failures += check_bench("train", baseline, args.train, tolerance,
-                            rows)
-    failures += check_bench("serve", baseline, args.serve, tolerance,
-                            rows)
-    failures += check_bench("predict_batch", baseline,
-                            args.predict_batch, tolerance, rows)
-    failures += check_bench("explore", baseline, args.explore,
-                            tolerance, rows)
-
-    header = ("metric", "baseline floor", "measured", "status")
+def render(rows, tolerance, failures):
+    header = ("metric", "gate", "measured", "status")
     widths = [max(len(str(row[i])) for row in rows + [header])
               for i in range(4)]
     lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
     lines += ["  ".join(str(c).ljust(w) for c, w in zip(row, widths))
               for row in rows]
     verdict = ("OK: all gated metrics within "
-               f"{tolerance:.0%} of their floors" if failures == 0 else
+               f"{tolerance:.0%} of their gates" if failures == 0 else
                f"FAIL: {failures} metric(s) regressed beyond "
                f"{tolerance:.0%} tolerance")
-    report = "\n".join(lines + ["", verdict])
+    return "\n".join(lines + ["", verdict])
+
+
+def run_checks(args):
+    try:
+        tolerance, sections = validate_baseline(args.baseline,
+                                                load(args.baseline))
+    except (ValidationError, json.JSONDecodeError) as err:
+        print(f"FAIL: baseline {args.baseline} is malformed: {err}")
+        return 1
+
+    rows = []
+    failures = 0
+    for flag, (section_name, _default) in BENCHES.items():
+        result_path = getattr(args, flag)
+        failures += check_bench(section_name,
+                                sections.get(section_name, ({}, {})),
+                                result_path, tolerance, rows)
+
+    report = render(rows, tolerance, failures)
     print(report)
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -130,6 +235,95 @@ def main():
             summary.write("\n```\n")
 
     return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the gate is itself CI-gated.
+
+def _self_test_cases():
+    """Yield (description, baseline, result_or_None, expect_failures)."""
+    base = {
+        "tolerance": 0.2,
+        "bench": {
+            "metrics": {"pps": 1000.0},
+            "ceilings": {"p99_us": 100.0},
+        },
+    }
+    ok = {"schema": BENCH_SCHEMA,
+          "metrics": {"pps": 900.0, "p99_us": 110.0, "extra": 5.0}}
+    yield ("floor and ceiling pass within tolerance; extra ungated",
+           base, ok, 0)
+    yield ("floor fails below tolerance", base,
+           {"schema": BENCH_SCHEMA,
+            "metrics": {"pps": 700.0, "p99_us": 50.0}}, 1)
+    yield ("ceiling fails above tolerance", base,
+           {"schema": BENCH_SCHEMA,
+            "metrics": {"pps": 2000.0, "p99_us": 121.0}}, 1)
+    yield ("gated metric missing from result", base,
+           {"schema": BENCH_SCHEMA, "metrics": {"pps": 2000.0}}, 1)
+    yield ("wrong schema tag", base,
+           {"schema": "nope", "metrics": {"pps": 2000.0}}, 1)
+    yield ("non-numeric metric value", base,
+           {"schema": BENCH_SCHEMA,
+            "metrics": {"pps": "fast", "p99_us": 1.0}}, 1)
+    yield ("missing result file", base, None, 1)
+    yield ("malformed baseline: metric as both floor and ceiling",
+           {"tolerance": 0.2,
+            "bench": {"metrics": {"x": 1.0}, "ceilings": {"x": 2.0}}},
+           ok, "baseline")
+    yield ("malformed baseline: tolerance out of range",
+           {"tolerance": 2.0, "bench": {"metrics": {"pps": 1.0}}},
+           ok, "baseline")
+
+
+def self_test():
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (desc, baseline, result,
+                expect) in enumerate(_self_test_cases()):
+            base_path = os.path.join(tmp, f"baseline{i}.json")
+            with open(base_path, "w", encoding="utf-8") as handle:
+                json.dump(baseline, handle)
+            result_path = os.path.join(tmp, f"result{i}.json")
+            if result is not None:
+                with open(result_path, "w",
+                          encoding="utf-8") as handle:
+                    json.dump(result, handle)
+
+            if expect == "baseline":
+                try:
+                    validate_baseline(base_path, load(base_path))
+                except ValidationError:
+                    got = "baseline"
+                else:
+                    got = "accepted"
+            else:
+                tolerance, sections = validate_baseline(
+                    base_path, load(base_path))
+                rows = []
+                got = check_bench("bench",
+                                  sections.get("bench", ({}, {})),
+                                  result_path, tolerance, rows)
+            status = "ok" if got == expect else "FAIL"
+            print(f"[{status}] {desc}: expected {expect!r}, "
+                  f"got {got!r}")
+            failures += 0 if got == expect else 1
+    print(f"self-test: {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded gate tests and exit")
+    for flag, (_section, default) in BENCHES.items():
+        parser.add_argument("--" + flag.replace("_", "-"),
+                            dest=flag, default=default)
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_checks(args)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,7 @@ fraction of executed lines drops below the checked-in floor.
 Usage:
     check_coverage.py [--build-dir build-cov] [--root .]
         [--floor FRACTION] [--html coverage.html]
+        [--summary-json coverage.json]
 
 Requires a tree configured with ``-DACDSE_COVERAGE=ON`` (gcc
 ``--coverage``) whose tests have already run: the ``.gcda`` counters
@@ -204,6 +205,9 @@ def main():
     parser.add_argument("--root", default=".")
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
     parser.add_argument("--html", default="")
+    parser.add_argument("--summary-json", default="",
+                        help="write {schema, total, floor, per_dir} "
+                             "JSON here (read by job_summary.py)")
     args = parser.parse_args()
 
     merged = collect(args.build_dir, args.root)
@@ -218,6 +222,20 @@ def main():
 
     report, ok = text_report(per_dir, gated, args.floor)
     print(report)
+    if args.summary_json:
+        doc = {
+            "schema": SCHEMA,
+            "total": ratio(gated),
+            "floor": args.floor,
+            "ok": ok,
+            "per_dir": {key: {"covered": pair[0],
+                              "executable": pair[1],
+                              "fraction": ratio(pair)}
+                        for key, pair in sorted(per_dir.items())},
+        }
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+        print(f"wrote {args.summary_json}")
     if args.html:
         html_report(per_file, per_dir, merged, gated, args.floor,
                     args.html)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Publish a compact bench/coverage dashboard to the GitHub job
+summary ($GITHUB_STEP_SUMMARY).
+
+Usage:
+    job_summary.py [--title TEXT] [--bench BENCH_a.json ...]
+        [--coverage coverage.json] [--out PATH]
+
+Inputs are the artifacts the other CI steps already produce:
+
+ - ``--bench``: any number of ``acdse-bench-v1`` documents
+   (``BENCH_*.json``); their ``metrics`` objects are rendered as one
+   markdown table, one row per metric, grouped by bench name. Files
+   that are missing or malformed get a warning row instead of failing
+   the step -- the gating happened earlier in
+   check_bench_regression.py; this step only reports.
+
+ - ``--coverage``: the ``--summary-json`` output of
+   check_coverage.py (schema ``acdse-coverage-v1``): total, floor and
+   per-directory fractions.
+
+``--out`` overrides the destination (default: the
+``GITHUB_STEP_SUMMARY`` environment variable; when neither is set the
+markdown goes to stdout, which is what local runs want).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bench_rows(paths):
+    """Yield (bench, metric, value) rows; errors become warnings."""
+    for path in paths:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as err:
+            yield ("?", os.path.basename(path), f"unreadable: {err}")
+            continue
+        if doc.get("schema") != "acdse-bench-v1":
+            yield ("?", os.path.basename(path),
+                   f"unexpected schema {doc.get('schema')!r}")
+            continue
+        bench = doc.get("bench", os.path.basename(path))
+        metrics = doc.get("metrics", {})
+        if not isinstance(metrics, dict):
+            yield (bench, "-", "metrics is not an object")
+            continue
+        for name in sorted(metrics):
+            value = metrics[name]
+            if isinstance(value, float):
+                text = f"{value:,.2f}"
+            else:
+                text = str(value)
+            yield (bench, name, text)
+
+
+def render(args):
+    lines = [f"## {args.title}", ""]
+
+    rows = list(bench_rows(args.bench))
+    if rows:
+        lines += ["### Benchmarks", "",
+                  "| bench | metric | value |",
+                  "| --- | --- | ---: |"]
+        lines += [f"| {b} | {m} | {v} |" for b, m, v in rows]
+        lines.append("")
+
+    if args.coverage:
+        try:
+            cov = load(args.coverage)
+        except (OSError, json.JSONDecodeError) as err:
+            cov = None
+            lines += [f"_coverage summary unreadable: {err}_", ""]
+        if cov is not None:
+            total = cov.get("total", 0.0)
+            floor = cov.get("floor", 0.0)
+            verdict = "✅" if cov.get("ok") else "❌"
+            lines += ["### Coverage", "",
+                      f"{verdict} src/ total **{total:.2%}** "
+                      f"(floor {floor:.2%})", "",
+                      "| directory | covered | executable | fraction |",
+                      "| --- | ---: | ---: | ---: |"]
+            for key, entry in sorted(
+                    cov.get("per_dir", {}).items()):
+                lines.append(
+                    f"| {key} | {entry.get('covered', 0)} "
+                    f"| {entry.get('executable', 0)} "
+                    f"| {entry.get('fraction', 0.0):.2%} |")
+            lines.append("")
+
+    if len(lines) == 2:
+        lines += ["_no artifacts supplied_", ""]
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--title", default="CI summary")
+    parser.add_argument("--bench", nargs="*", default=[],
+                        help="acdse-bench-v1 JSON files")
+    parser.add_argument("--coverage", default="",
+                        help="check_coverage.py --summary-json output")
+    parser.add_argument("--out", default="")
+    args = parser.parse_args()
+
+    markdown = render(args)
+    out = args.out or os.environ.get("GITHUB_STEP_SUMMARY", "")
+    if out:
+        with open(out, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+    else:
+        print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
