@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Campaign-fill benchmark: simulated design points per second through
+ * the scalar per-cell simulate() path (the seed campaign shape: fresh
+ * core, caches, predictor and energy model per cell) vs the
+ * lane-batched replay (ISSUE 9: one DecodedTrace shared read-only,
+ * kSimLanes configurations per simulateBatch call, all per-simulation
+ * state hoisted into a reused SimScratch), at one thread and at full
+ * hardware parallelism.
+ *
+ * The batched path must be bit-identical to the scalar one
+ * (tests/test_batch_sim.cc); this bench shows why it exists, and
+ * additionally proves the SimScratch hoisting claim: a steady-state
+ * batched pass (same configs, same scratch) must perform ZERO heap
+ * allocations, counted by the operator new/delete overrides below.
+ *
+ * Acceptance floor (ISSUE 9): the batched path delivers >= 3x the
+ * scalar single-thread points/s on an 8-core host (>= 5x target). The
+ * floor is enforced here when the host has >= 8 hardware threads and
+ * tracked by tools/ci/check_bench_regression.py against
+ * bench/baseline.json (campaign_points_per_s).
+ *
+ * Environment: ACDSE_CAMPAIGN_BENCH_CONFIGS (default 64) sets the
+ * number of design points; ACDSE_CAMPAIGN_BENCH_TRACE (default 6000)
+ * the trace length; ACDSE_BENCH_JSON overrides the BENCH_campaign.json
+ * output path (schema acdse-bench-v1).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/design_space.hh"
+#include "base/json.hh"
+#include "base/parse.hh"
+#include "base/thread_pool.hh"
+#include "obs/stats_export.hh"
+#include "sim/batch.hh"
+#include "sim/cacti.hh"
+#include "sim/simulator.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace
+{
+
+/**
+ * Global allocation counter for the steady-state zero-allocation
+ * check. Replacing the usual (non-aligned) operator new/delete family
+ * is enough: nothing on the simulateBatch path heap-allocates
+ * over-aligned types (the lane SoA arrays live on the stack).
+ */
+std::atomic<std::uint64_t> g_allocations{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace acdse;
+
+namespace
+{
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    if (const char *value = std::getenv(name); value && *value)
+        return static_cast<std::size_t>(parseU64OrDie(name, value));
+    return fallback;
+}
+
+/** Time @p passes runs of @p sweep over @p points and return points/s. */
+template <typename Sweep>
+double
+measure(std::size_t points, std::size_t passes, Sweep &&sweep)
+{
+    sweep(); // warm-up: scratch growth, cacti memo, pool wake, icache
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t p = 0; p < passes; ++p)
+        sweep();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return static_cast<double>(points * passes) / seconds;
+}
+
+/**
+ * Scalar path: one simulate() call per cell, constructing the full
+ * component stack each time -- exactly the pre-batch campaign fill.
+ */
+double
+measureScalar(const std::vector<MicroarchConfig> &configs,
+              const Trace &trace, const SimulationOptions &options,
+              std::size_t threads, std::size_t passes)
+{
+    const std::size_t n = configs.size();
+    std::vector<SimulationResult> out(n);
+    ThreadPool pool(threads);
+    return measure(n, passes, [&] {
+        pool.parallelFor(0, n, [&](std::size_t i) {
+            out[i] = simulate(configs[i], trace, options);
+        });
+    });
+}
+
+/**
+ * Batched path: lane groups of kSimLanes configurations replayed per
+ * simulateBatch call against one shared DecodedTrace, with each worker
+ * thread reusing its own SimScratch -- the campaign.cc fill shape.
+ */
+double
+measureBatched(const std::vector<MicroarchConfig> &configs,
+               const DecodedTrace &decoded,
+               const SimulationOptions &options, std::size_t threads,
+               std::size_t passes)
+{
+    const std::size_t n = configs.size();
+    const std::size_t groups = (n + kSimLanes - 1) / kSimLanes;
+    std::vector<SimulationResult> out(n);
+    ThreadPool pool(threads);
+    return measure(n, passes, [&] {
+        pool.parallelFor(0, groups, [&](std::size_t g) {
+            thread_local SimScratch scratch; // NOLINT(acdse-local-static)
+            const std::size_t first = g * kSimLanes;
+            const std::size_t count = std::min(kSimLanes, n - first);
+            simulateBatch(std::span<const MicroarchConfig>(
+                              configs.data() + first, count),
+                          decoded, options,
+                          std::span<SimulationResult>(out.data() + first,
+                                                      count),
+                          scratch);
+        });
+    });
+}
+
+/**
+ * One full batched pass over every config through a caller-owned
+ * scratch, no pool: the unit the zero-allocation check measures.
+ */
+void
+batchedPass(const std::vector<MicroarchConfig> &configs,
+            const DecodedTrace &decoded,
+            const SimulationOptions &options,
+            std::vector<SimulationResult> &out, SimScratch &scratch)
+{
+    const std::size_t n = configs.size();
+    for (std::size_t first = 0; first < n; first += kSimLanes) {
+        const std::size_t count = std::min(kSimLanes, n - first);
+        simulateBatch(std::span<const MicroarchConfig>(
+                          configs.data() + first, count),
+                      decoded, options,
+                      std::span<SimulationResult>(out.data() + first,
+                                                  count),
+                      scratch);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t num_configs =
+        envSize("ACDSE_CAMPAIGN_BENCH_CONFIGS", 64);
+    const std::size_t trace_length =
+        envSize("ACDSE_CAMPAIGN_BENCH_TRACE", 6000);
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const obs::Snapshot obs_before =
+        obs::Registry::global().snapshot();
+
+    SimulationOptions options;
+    options.warmupInstructions = 1000;
+
+    std::printf("generating %zu-instruction trace, sampling %zu "
+                "configurations...\n",
+                trace_length + options.warmupInstructions, num_configs);
+    const Trace trace =
+        TraceGenerator(profileByName("gcc"))
+            .generate(trace_length + options.warmupInstructions);
+    const DecodedTrace decoded(trace);
+    const auto configs =
+        DesignSpace::sampleValidConfigs(num_configs, 42);
+
+    const std::size_t passes = 3;
+    std::printf("\ncampaign fill, %zu design points x %zu passes per "
+                "cell (points/s, lanes=%zu)\n\n",
+                num_configs, passes, kSimLanes);
+
+    const double scalar_t1 =
+        measureScalar(configs, trace, options, 1, passes);
+    const double batch_t1 =
+        measureBatched(configs, decoded, options, 1, passes);
+    const double scalar_tmax =
+        measureScalar(configs, trace, options, hw, passes);
+    const double batch_tmax =
+        measureBatched(configs, decoded, options, hw, passes);
+    const double speedup_t1 = batch_t1 / scalar_t1;
+    const double speedup_tmax = batch_tmax / scalar_tmax;
+
+    std::printf("%-18s  %12s  %12s  %8s\n", "threads", "scalar pts/s",
+                "batch pts/s", "speedup");
+    std::printf("%-18zu  %12.0f  %12.0f  %7.2fx\n", std::size_t{1},
+                scalar_t1, batch_t1, speedup_t1);
+    std::printf("%-18zu  %12.0f  %12.0f  %7.2fx\n", hw, scalar_tmax,
+                batch_tmax, speedup_tmax);
+
+    // Steady-state allocation check: after one warm pass has grown the
+    // scratch and filled the cacti memo, a repeat pass over the same
+    // configs must not touch the heap at all -- that is the whole point
+    // of hoisting per-simulation state into SimScratch.
+    std::vector<SimulationResult> out(configs.size());
+    SimScratch scratch;
+    batchedPass(configs, decoded, options, out, scratch); // warm
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    batchedPass(configs, decoded, options, out, scratch);
+    const std::uint64_t steady_allocs =
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+    std::printf("\nsteady-state batched pass: %llu heap allocations "
+                "(%zu sims)\n",
+                static_cast<unsigned long long>(steady_allocs),
+                configs.size());
+
+    const CactiMemoStats memo = cactiMemoStats();
+    const double memo_total =
+        static_cast<double>(memo.hits + memo.misses);
+    std::printf("cacti memo: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(memo.hits),
+                static_cast<unsigned long long>(memo.misses),
+                memo_total > 0.0
+                    ? 100.0 * static_cast<double>(memo.hits) / memo_total
+                    : 0.0);
+
+    const std::string json_out = [] {
+        if (const char *value = std::getenv("ACDSE_BENCH_JSON");
+            value && *value)
+            return std::string(value);
+        return std::string("BENCH_campaign.json");
+    }();
+    JsonWriter json;
+    json.beginObject()
+        .key("schema").value("acdse-bench-v1")
+        .key("bench").value("campaign")
+        .key("hardware_concurrency").value(
+            static_cast<std::uint64_t>(hw))
+        .key("num_configs").value(
+            static_cast<std::uint64_t>(num_configs))
+        .key("trace_length").value(
+            static_cast<std::uint64_t>(trace_length))
+        .key("steady_state_allocations").value(steady_allocs)
+        .key("metrics").beginObject()
+        .key("campaign_scalar_pps_t1").value(scalar_t1)
+        .key("campaign_points_per_s").value(batch_t1)
+        .key("campaign_batch_speedup_t1").value(speedup_t1)
+        .key("campaign_batch_pps_tmax").value(batch_tmax)
+        .endObject();
+    // Additive per-stage breakdown (sim/batch span, sim/ and pool/
+    // counters); the regression checker only reads "metrics".
+    json.key("stages");
+    obs::writeStagesJson(
+        json,
+        obs::diff(obs_before, obs::Registry::global().snapshot()));
+    json.endObject();
+    writeTextAtomic(json_out, json.str());
+    std::printf("\nwrote %s\n", json_out.c_str());
+
+    std::printf("\nsingle-thread batch speedup: %.2fx "
+                "(target: >= 3x on >= 8 hardware threads)\n",
+                speedup_t1);
+    bool failed = false;
+#if !defined(ACDSE_NO_SIM_BATCH)
+    // With ACDSE_SIM_BATCH=OFF the entry points fall back to scalar
+    // simulate(), which constructs its components per call; the
+    // zero-allocation contract only binds the real batched engine.
+    if (steady_allocs != 0) {
+        std::printf("FAIL: steady-state batched pass allocated\n");
+        failed = true;
+    }
+#endif
+    if (hw >= 8 && speedup_t1 < 3.0) {
+        std::printf("FAIL: below the batched-replay speedup floor\n");
+        failed = true;
+    }
+    if (failed)
+        return 1;
+    std::printf(hw >= 8 ? "PASS\n"
+                        : "PASS (speedup floor not enforced: fewer "
+                          "than 8 hardware threads)\n");
+    return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/campaign.hh"
 
+#include <array>
 #include <atomic>
+#include <span>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
@@ -14,6 +16,7 @@
 #include "base/parse.hh"
 #include "base/thread_pool.hh"
 #include "obs/trace_span.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "trace/suites.hh"
 #include "trace/trace_generator.hh"
@@ -31,6 +34,21 @@ envSize(const char *name, std::size_t fallback)
     if (!value || !*value)
         return fallback;
     return static_cast<std::size_t>(parseU64OrDie(name, value));
+}
+
+/**
+ * This worker thread's lane components, reused across fill tiles so
+ * steady-state campaign fill performs no per-simulation allocation.
+ * Thread-local, so never shared -- parallelFor gives no stable worker
+ * index to key a scratch pool by, and a SimScratch is pure storage
+ * (results never depend on what ran through it), so per-thread reuse
+ * cannot affect determinism.
+ */
+SimScratch &
+fillScratch()
+{
+    thread_local SimScratch scratch; // NOLINT(acdse-local-static)
+    return scratch;
 }
 
 } // namespace
@@ -241,26 +259,66 @@ Campaign::ensureComputed()
         pool = pinned.get();
     }
 
+    // Tile pending cells into lane groups: cells of one program are
+    // replayed kSimLanes configurations at a time against that
+    // program's trace, decoded once and shared read-only by every
+    // worker. Cells are independent, so the tiling (and the thread
+    // count) cannot change any result -- and the batched replay itself
+    // is bit-identical to scalar simulate().
+    struct Tile
+    {
+        std::size_t program; //!< program index
+        std::size_t first;   //!< offset into `pending`
+        std::size_t count;   //!< cells in this tile (<= kSimLanes)
+    };
+    std::vector<Tile> tiles;
+    std::vector<std::unique_ptr<DecodedTrace>> decoded(
+        programs_.size());
+    for (std::size_t first = 0; first < pending.size();) {
+        const std::size_t p = pending[first] / configs_.size();
+        std::size_t count = 1;
+        while (count < kSimLanes && first + count < pending.size() &&
+               pending[first + count] / configs_.size() == p)
+            ++count;
+        tiles.push_back({p, first, count});
+        if (!decoded[p])
+            decoded[p] = std::make_unique<DecodedTrace>(*traces_[p]);
+        first += count;
+    }
+
     const obs::TraceSpan span(obs::Registry::global(),
                               "campaign/fill");
     obs::Registry::global().counter("campaign/sims-run")
         .add(pending.size());
     std::atomic<std::size_t> done{0};
-    pool->parallelFor(0, pending.size(), [&](std::size_t slot) {
+    pool->parallelFor(0, tiles.size(), [&](std::size_t t) {
         SimulationOptions sim_options;
         sim_options.warmupInstructions = options_.warmupInstructions;
-        const std::size_t cell = pending[slot];
-        const std::size_t p = cell / configs_.size();
-        const std::size_t c = cell % configs_.size();
-        const SimulationResult result =
-            simulate(configs_[c], *traces_[p], sim_options);
-        results_[cell] = result.metrics;
-        computed_[cell] = true;
-        const std::size_t completed = done.fetch_add(1) + 1;
+        const Tile &tile = tiles[t];
+        std::array<MicroarchConfig, kSimLanes> group;
+        std::array<SimulationResult, kSimLanes> group_results;
+        for (std::size_t i = 0; i < tile.count; ++i) {
+            const std::size_t cell = pending[tile.first + i];
+            group[i] = configs_[cell % configs_.size()];
+        }
+        simulateBatch(
+            std::span<const MicroarchConfig>(group.data(), tile.count),
+            *decoded[tile.program], sim_options,
+            std::span<SimulationResult>(group_results.data(),
+                                        tile.count),
+            fillScratch());
+        for (std::size_t i = 0; i < tile.count; ++i) {
+            const std::size_t cell = pending[tile.first + i];
+            results_[cell] = group_results[i].metrics;
+            computed_[cell] = true;
+        }
+        const std::size_t completed =
+            done.fetch_add(tile.count) + tile.count;
         if (!options_.quiet &&
-            completed %
-                    std::max<std::size_t>(1, pending.size() / 10) ==
-                0) {
+            completed /
+                    std::max<std::size_t>(1, pending.size() / 10) !=
+                (completed - tile.count) /
+                    std::max<std::size_t>(1, pending.size() / 10)) {
             inform("campaign: ", completed, "/", pending.size(),
                    " simulations done");
         }

@@ -10,18 +10,28 @@ namespace acdse
 {
 
 GsharePredictor::GsharePredictor(int entries)
-    : counters_(static_cast<std::size_t>(entries), 1), // weakly not-taken
-      mask_(static_cast<std::uint64_t>(entries) - 1),
-      // Fixed short history: larger tables then monotonically reduce
-      // destructive aliasing between branches (the effect the design
-      // space varies) without diluting training across more contexts
-      // than a sampled interval can warm.
-      historyBits_(std::min(
-          6, std::countr_zero(static_cast<unsigned>(entries))))
+{
+    reconfigure(entries);
+}
+
+void
+GsharePredictor::reconfigure(int entries)
 {
     ACDSE_CHECK(entries > 0 &&
                      std::has_single_bit(static_cast<unsigned>(entries)),
                  "gshare table size must be a power of two");
+    counters_.assign(static_cast<std::size_t>(entries),
+                     1); // weakly not-taken
+    mask_ = static_cast<std::uint64_t>(entries) - 1;
+    // Fixed short history: larger tables then monotonically reduce
+    // destructive aliasing between branches (the effect the design
+    // space varies) without diluting training across more contexts
+    // than a sampled interval can warm.
+    historyBits_ =
+        std::min(6, std::countr_zero(static_cast<unsigned>(entries)));
+    history_ = 0;
+    lookups_ = 0;
+    mispredicts_ = 0;
 }
 
 std::uint64_t
@@ -53,12 +63,27 @@ GsharePredictor::update(std::uint64_t pc, bool taken)
 }
 
 Btb::Btb(int entries)
-    : entries_(static_cast<std::size_t>(entries)),
-      mask_(static_cast<std::uint64_t>(entries) - 1)
+{
+    reconfigure(entries);
+}
+
+void
+Btb::reconfigure(int entries)
 {
     ACDSE_CHECK(entries > 0 &&
                      std::has_single_bit(static_cast<unsigned>(entries)),
                  "BTB size must be a power of two");
+    entries_.resize(static_cast<std::size_t>(entries));
+    mask_ = static_cast<std::uint64_t>(entries) - 1;
+    // Epoch bump invalidates every entry in O(1); on wrap, clear so a
+    // recycled epoch value cannot resurrect stale targets.
+    if (++epoch_ == 0) {
+        for (auto &e : entries_)
+            e = Entry{};
+        epoch_ = 1;
+    }
+    lookups_ = 0;
+    misses_ = 0;
 }
 
 bool
@@ -66,7 +91,7 @@ Btb::lookup(std::uint64_t pc) const
 {
     ++lookups_;
     const Entry &e = entries_[(pc >> 2) & mask_];
-    const bool hit = e.valid && e.tag == pc;
+    const bool hit = e.epoch == epoch_ && e.tag == pc;
     misses_ += !hit;
     return hit;
 }
@@ -75,7 +100,7 @@ void
 Btb::update(std::uint64_t pc, std::uint64_t target)
 {
     Entry &e = entries_[(pc >> 2) & mask_];
-    e.valid = true;
+    e.epoch = epoch_;
     e.tag = pc;
     e.target = target;
 }

@@ -22,6 +22,14 @@ class GsharePredictor
     /** @param entries table size (power of two). */
     explicit GsharePredictor(int entries);
 
+    /**
+     * Re-size the table and forget all training, history and
+     * statistics -- equivalent to constructing a fresh predictor but
+     * reusing the counter storage (the lane-batched simulator recycles
+     * one predictor per lane across simulations).
+     */
+    void reconfigure(int entries);
+
     /** Predict the direction of the branch at @p pc. */
     bool predict(std::uint64_t pc) const;
 
@@ -62,6 +70,12 @@ class Btb
     /** @param entries table size (power of two). */
     explicit Btb(int entries);
 
+    /**
+     * Re-size the table and forget all entries and statistics (storage
+     * is reused; invalidation is O(1) via the entry epoch).
+     */
+    void reconfigure(int entries);
+
     /** Whether the branch at @p pc has a target stored. */
     bool lookup(std::uint64_t pc) const;
 
@@ -75,15 +89,17 @@ class Btb
     /** @} */
 
   private:
+    /** Valid iff epoch matches the BTB's current epoch (see Cache). */
     struct Entry
     {
         std::uint64_t tag = 0;
         std::uint64_t target = 0;
-        bool valid = false;
+        std::uint32_t epoch = 0;
     };
 
     std::vector<Entry> entries_;
     std::uint64_t mask_;
+    std::uint32_t epoch_ = 1;
     mutable std::uint64_t lookups_ = 0;
     mutable std::uint64_t misses_ = 0;
 };

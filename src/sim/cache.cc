@@ -10,16 +10,24 @@ namespace acdse
 {
 
 Cache::Cache(int sizeBytes, int assoc, int lineBytes)
-    : sets_(sizeBytes / (assoc * lineBytes)), assoc_(assoc),
-      lineShift_(std::countr_zero(static_cast<unsigned>(lineBytes)))
+{
+    reconfigure(sizeBytes, assoc, lineBytes);
+}
+
+void
+Cache::reconfigure(int sizeBytes, int assoc, int lineBytes)
 {
     ACDSE_CHECK(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
                  "cache dimensions must be positive");
+    sets_ = sizeBytes / (assoc * lineBytes);
+    assoc_ = assoc;
+    lineShift_ = std::countr_zero(static_cast<unsigned>(lineBytes));
     ACDSE_CHECK(sets_ > 0, "cache too small for its associativity");
     ACDSE_CHECK((sets_ & (sets_ - 1)) == 0, "set count must be 2^n");
     ACDSE_CHECK(std::has_single_bit(static_cast<unsigned>(lineBytes)),
                  "line size must be 2^n");
     lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+    reset();
 }
 
 CacheAccessResult
@@ -37,22 +45,24 @@ Cache::access(std::uint64_t addr, bool write)
     Line *victim = base;
     for (int w = 0; w < assoc_; ++w) {
         Line &line = base[w];
-        if (line.valid && line.tag == tag) {
+        const bool valid = line.epoch == epoch_;
+        if (valid && line.tag == tag) {
             line.lastUse = useCounter_;
             line.dirty |= write;
             return {true, false};
         }
-        if (!line.valid) {
+        if (!valid) {
             victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
+        } else if (victim->epoch == epoch_ &&
+                   line.lastUse < victim->lastUse) {
             victim = &line;
         }
     }
 
     ++misses_;
-    const bool writeback = victim->valid && victim->dirty;
+    const bool writeback = victim->epoch == epoch_ && victim->dirty;
     writebacks_ += writeback;
-    victim->valid = true;
+    victim->epoch = epoch_;
     victim->tag = tag;
     victim->lastUse = useCounter_;
     victim->dirty = write;
@@ -69,7 +79,7 @@ Cache::probe(std::uint64_t addr) const
                                   static_cast<unsigned>(sets_));
     const Line *base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
     for (int w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].epoch == epoch_ && base[w].tag == tag)
             return true;
     }
     return false;
@@ -78,8 +88,16 @@ Cache::probe(std::uint64_t addr) const
 void
 Cache::reset()
 {
-    for (auto &line : lines_)
-        line = Line{};
+    // O(1) by design: advancing the epoch invalidates every line (the
+    // LRU victim scan treats stale-epoch lines exactly like the
+    // valid=false lines of a fresh array). On the -- practically
+    // unreachable -- epoch wrap, fall back to a full clear so recycled
+    // epoch values can never resurrect ancient lines.
+    if (++epoch_ == 0) {
+        for (auto &line : lines_)
+            line = Line{};
+        epoch_ = 1;
+    }
     useCounter_ = accesses_ = misses_ = writebacks_ = 0;
 }
 
@@ -101,6 +119,25 @@ CacheHierarchy::CacheHierarchy(const MicroarchConfig &config)
     l2Latency_ = estimateCache(config.l2Bytes(), fixedParams().l2Assoc,
                                fixedParams().l2LineBytes, 2)
                      .latencyCycles;
+}
+
+void
+CacheHierarchy::reconfigure(const MicroarchConfig &config)
+{
+    const FixedParams &fp = fixedParams();
+    il1_.reconfigure(config.il1Bytes(), fp.il1Assoc, fp.l1LineBytes);
+    dl1_.reconfigure(config.dl1Bytes(), fp.dl1Assoc, fp.l1LineBytes);
+    l2_.reconfigure(config.l2Bytes(), fp.l2Assoc, fp.l2LineBytes);
+    il1Latency_ = estimateCache(config.il1Bytes(), fp.il1Assoc,
+                                fp.l1LineBytes, 1)
+                      .latencyCycles;
+    dl1Latency_ = estimateCache(config.dl1Bytes(), fp.dl1Assoc,
+                                fp.l1LineBytes, 1)
+                      .latencyCycles;
+    l2Latency_ = estimateCache(config.l2Bytes(), fp.l2Assoc,
+                               fp.l2LineBytes, 2)
+                     .latencyCycles;
+    memLatency_ = fp.memLatency;
 }
 
 int

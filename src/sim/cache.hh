@@ -32,6 +32,16 @@ class Cache
      */
     Cache(int sizeBytes, int assoc, int lineBytes);
 
+    /**
+     * Re-shape this cache for a new geometry, invalidating all
+     * contents and statistics. Equivalent to constructing a fresh
+     * Cache but reuses the line storage -- the lane-batched simulator
+     * (sim/batch.hh) recycles one Cache per lane across thousands of
+     * simulations, and re-allocating + zeroing a multi-megabyte L2
+     * line array per simulation would dominate short campaign runs.
+     */
+    void reconfigure(int sizeBytes, int assoc, int lineBytes);
+
     /** Access one address; fills the line on a miss. */
     CacheAccessResult access(std::uint64_t addr, bool write);
 
@@ -56,11 +66,19 @@ class Cache
     int numSets() const { return sets_; }
 
   private:
+    /**
+     * One cache line. Validity is epoch-based: a line is present iff
+     * its epoch matches the cache's current epoch, so reset() and
+     * reconfigure() invalidate every line by bumping epoch_ in O(1)
+     * instead of clearing the array. Value-initialised lines carry
+     * epoch 0, which is never current (epoch_ starts at 1), so freshly
+     * grown storage is invalid without touching it.
+     */
     struct Line
     {
         std::uint64_t tag = 0;
         std::uint64_t lastUse = 0;
-        bool valid = false;
+        std::uint32_t epoch = 0;
         bool dirty = false;
     };
 
@@ -68,6 +86,7 @@ class Cache
     int assoc_;
     int lineShift_;
     std::vector<Line> lines_;
+    std::uint32_t epoch_ = 1;
     std::uint64_t useCounter_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
@@ -92,6 +111,14 @@ class CacheHierarchy
   public:
     /** Build the hierarchy for a configuration. */
     explicit CacheHierarchy(const MicroarchConfig &config);
+
+    /**
+     * Re-shape all three caches for a new configuration, invalidating
+     * contents and statistics but reusing line storage (see
+     * Cache::reconfigure). Leaves the hierarchy exactly as a fresh
+     * CacheHierarchy(config) would.
+     */
+    void reconfigure(const MicroarchConfig &config);
 
     /**
      * Data access (load or store). Returns total latency in cycles and

@@ -1,10 +1,14 @@
 #include "sim/cacti.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <unordered_map>
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/sync.hh"
+#include "obs/metrics.hh"
 
 namespace acdse
 {
@@ -20,10 +24,130 @@ constexpr double kBitlineNjPerRowPort = 2.0e-5;
 constexpr double kCamNjPerRowBit = 6.0e-7;
 constexpr double kLeakNjPerBitCycle = 6.0e-9;
 
+/**
+ * Memo table for the pure estimators. The key packs the estimator kind
+ * and its four integer arguments; the design space only produces a few
+ * hundred distinct geometries, so the table saturates almost
+ * immediately and every later EnergyModel/CacheHierarchy construction
+ * is four map lookups instead of transcendental math.
+ */
+struct EstimateKey
+{
+    std::uint8_t kind;  //!< 0 array, 1 cam, 2 cache
+    int a, b, c, d;     //!< estimator arguments, in declaration order
+
+    bool operator==(const EstimateKey &) const = default;
+};
+
+struct EstimateKeyHash
+{
+    std::size_t
+    operator()(const EstimateKey &k) const noexcept
+    {
+        // FNV-1a over the five fields; collisions only cost a compare.
+        std::uint64_t h = 1469598103934665603ULL;
+        auto mix = [&h](std::uint64_t v) {
+            h = (h ^ v) * 1099511628211ULL;
+        };
+        mix(k.kind);
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.a)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.b)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.c)));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.d)));
+        return static_cast<std::size_t>(h);
+    }
+};
+
+struct EstimateMemo
+{
+    SharedMutex mutex;
+    std::unordered_map<EstimateKey, ArrayEstimate, EstimateKeyHash>
+        table ACDSE_GUARDED_BY(mutex);
+    // Relaxed atomics, not counters under the lock: hit accounting must
+    // not extend the reader critical section.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+EstimateMemo &
+estimateMemo()
+{
+    // Leaked on purpose, like obs::Registry::global(): estimators run
+    // from pool workers during static destruction of test fixtures.
+    static EstimateMemo *memo = // NOLINT(acdse-local-static)
+        new EstimateMemo;
+    return *memo;
+}
+
+/** Serve @p key from the memo, computing via @p compute on a miss. */
+template <typename Compute>
+ArrayEstimate
+memoised(const EstimateKey &key, Compute &&compute)
+{
+    EstimateMemo &memo = estimateMemo();
+    {
+        ReaderLock lock(memo.mutex);
+        if (auto it = memo.table.find(key); it != memo.table.end()) {
+            memo.hits.fetch_add(1, std::memory_order_relaxed);
+            obs::Registry::global().counter("sim/cacti-hit").add();
+            return it->second;
+        }
+    }
+    // Compute outside any lock (pure function; racing threads compute
+    // identical values) and publish under the writer lock.
+    const ArrayEstimate fresh = compute();
+    memo.misses.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("sim/cacti-miss").add();
+    WriterLock lock(memo.mutex);
+    memo.table.emplace(key, fresh);
+    return fresh;
+}
+
+ArrayEstimate computeArray(int rows, int bitsPerRow, int readPorts,
+                           int writePorts);
+ArrayEstimate computeCam(int rows, int tagBits, int searchPorts);
+ArrayEstimate computeCache(int sizeBytes, int assoc, int lineBytes,
+                           int level);
+
 } // namespace
+
+CactiMemoStats
+cactiMemoStats()
+{
+    EstimateMemo &memo = estimateMemo();
+    return {memo.hits.load(std::memory_order_relaxed),
+            memo.misses.load(std::memory_order_relaxed)};
+}
 
 ArrayEstimate
 estimateArray(int rows, int bitsPerRow, int readPorts, int writePorts)
+{
+    return memoised({0, rows, bitsPerRow, readPorts, writePorts}, [=] {
+        return computeArray(rows, bitsPerRow, readPorts, writePorts);
+    });
+}
+
+ArrayEstimate
+estimateCam(int rows, int tagBits, int searchPorts)
+{
+    return memoised({1, rows, tagBits, searchPorts, 0}, [=] {
+        return computeCam(rows, tagBits, searchPorts);
+    });
+}
+
+ArrayEstimate
+estimateCache(int sizeBytes, int assoc, int lineBytes, int level)
+{
+    return memoised({2, sizeBytes, assoc, lineBytes, level}, [=] {
+        return computeCache(sizeBytes, assoc, lineBytes, level);
+    });
+}
+
+namespace
+{
+
+ArrayEstimate
+computeArray(int rows, int bitsPerRow, int readPorts, int writePorts)
 {
     ACDSE_CHECK(rows > 0 && bitsPerRow > 0, "array must be non-empty");
     ACDSE_CHECK(readPorts >= 0 && writePorts >= 0, "bad port counts");
@@ -44,7 +168,7 @@ estimateArray(int rows, int bitsPerRow, int readPorts, int writePorts)
 }
 
 ArrayEstimate
-estimateCam(int rows, int tagBits, int searchPorts)
+computeCam(int rows, int tagBits, int searchPorts)
 {
     ACDSE_CHECK(rows > 0 && tagBits > 0, "CAM must be non-empty");
     const double ports = std::max(1, searchPorts);
@@ -59,7 +183,7 @@ estimateCam(int rows, int tagBits, int searchPorts)
 }
 
 ArrayEstimate
-estimateCache(int sizeBytes, int assoc, int lineBytes, int level)
+computeCache(int sizeBytes, int assoc, int lineBytes, int level)
 {
     ACDSE_CHECK(sizeBytes > 0 && assoc > 0 && lineBytes > 0,
                  "cache must be non-empty");
@@ -68,7 +192,7 @@ estimateCache(int sizeBytes, int assoc, int lineBytes, int level)
     const int tag_bits = 28; // ~40-bit addresses, generous tags
     const int bits_per_set = assoc * (lineBytes * 8 + tag_bits);
 
-    ArrayEstimate e = estimateArray(sets, bits_per_set, 1, 1);
+    ArrayEstimate e = computeArray(sets, bits_per_set, 1, 1);
     // A read only drives one way's worth of data lines after way select;
     // scale the wordline term down accordingly but keep the tag probe.
     e.readEnergyNj = kFixedNj +
@@ -94,5 +218,7 @@ estimateCache(int sizeBytes, int assoc, int lineBytes, int level)
     }
     return e;
 }
+
+} // namespace
 
 } // namespace acdse

@@ -15,6 +15,8 @@
 
 #pragma once
 
+#include <cstdint>
+
 namespace acdse
 {
 
@@ -55,6 +57,24 @@ ArrayEstimate estimateCam(int rows, int tagBits, int searchPorts);
  */
 ArrayEstimate estimateCache(int sizeBytes, int assoc, int lineBytes,
                             int level);
+
+/**
+ * Memoisation statistics of the estimator cache (see cacti.cc): every
+ * estimateArray/estimateCam/estimateCache call is served from a flat
+ * map keyed by its arguments, because the estimates are pure functions
+ * of a handful of discrete geometries while a simulation campaign
+ * re-derives them hundreds of thousands of times (one EnergyModel +
+ * CacheHierarchy per (config, program) cell). Mirrored to the obs
+ * counters sim/cacti-hit and sim/cacti-miss.
+ */
+struct CactiMemoStats
+{
+    std::uint64_t hits;     //!< lookups served from the memo table
+    std::uint64_t misses;   //!< lookups that computed a fresh estimate
+};
+
+/** Current process-wide memo statistics. */
+CactiMemoStats cactiMemoStats();
 
 } // namespace acdse
 

@@ -5,73 +5,10 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "sim/core_ops.hh"
 
 namespace acdse
 {
-
-namespace
-{
-
-constexpr std::uint64_t kNotReady =
-    std::numeric_limits<std::uint64_t>::max();
-/** Ring size for per-cycle event counters; must exceed any latency. */
-constexpr std::size_t kRingSize = 1024;
-
-/** Execution latency (excluding memory) for each class. */
-int
-execLatency(InstClass cls)
-{
-    const FixedParams &fp = fixedParams();
-    switch (cls) {
-      case InstClass::IntAlu: return fp.intAluLatency;
-      case InstClass::IntMul: return fp.intMulLatency;
-      case InstClass::FpAlu: return fp.fpAluLatency;
-      case InstClass::FpMul: return fp.fpMulLatency;
-      case InstClass::FpDiv: return fp.fpDivLatency;
-      case InstClass::Load: return 1;  // address generation
-      case InstClass::Store: return 1; // address generation
-      case InstClass::Branch: return fp.intAluLatency;
-      default: panic("bad instruction class");
-    }
-}
-
-/** Which functional-unit pool a class issues to. */
-enum class FuPool : std::size_t { IntAlu, IntMul, FpAlu, FpMulDiv, Count };
-
-FuPool
-fuPoolFor(InstClass cls)
-{
-    switch (cls) {
-      case InstClass::IntAlu:
-      case InstClass::Load:
-      case InstClass::Store:
-      case InstClass::Branch:
-        return FuPool::IntAlu;
-      case InstClass::IntMul:
-        return FuPool::IntMul;
-      case InstClass::FpAlu:
-        return FuPool::FpAlu;
-      case InstClass::FpMul:
-      case InstClass::FpDiv:
-        return FuPool::FpMulDiv;
-      default:
-        panic("bad instruction class");
-    }
-}
-
-EnergyEvent
-fuEnergyFor(InstClass cls)
-{
-    switch (cls) {
-      case InstClass::IntMul: return EnergyEvent::FuIntMul;
-      case InstClass::FpAlu: return EnergyEvent::FuFpAlu;
-      case InstClass::FpMul: return EnergyEvent::FuFpMul;
-      case InstClass::FpDiv: return EnergyEvent::FuFpDiv;
-      default: return EnergyEvent::FuIntAlu;
-    }
-}
-
-} // namespace
 
 OooCore::OooCore(const MicroarchConfig &config, EnergyModel &energy)
     : config_(config), energy_(energy), hierarchy_(config),
@@ -108,6 +45,14 @@ OooCore::warm(const Trace &trace, std::size_t begin, std::size_t end)
 CoreStats
 OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
 {
+    CoreScratch scratch;
+    return run(trace, begin, end, scratch);
+}
+
+CoreStats
+OooCore::run(const Trace &trace, std::size_t begin, std::size_t end,
+             CoreScratch &scratch)
+{
     end = std::min(end, trace.size());
     ACDSE_CHECK(begin < end, "empty simulation interval");
 
@@ -134,8 +79,9 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
     const std::uint64_t dl1_miss0 = hierarchy_.dl1().misses();
     const std::uint64_t l2_miss0 = hierarchy_.l2().misses();
 
-    // --- Pipeline state ------------------------------------------------
-    std::vector<InstState> rob(rob_size);
+    // --- Pipeline state (storage borrowed from the scratch) ------------
+    auto &rob = scratch.rob;
+    rob.assign(rob_size, CoreScratch::RobSlot{});
     std::size_t commit_idx = begin;   // oldest in-flight instruction
     std::size_t dispatch_idx = begin; // next to enter the ROB
     std::size_t fetch_idx = begin;    // next to fetch
@@ -143,28 +89,28 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
 
     // Fetch queue: indices paired with the cycle they become
     // dispatchable (front-end depth).
-    struct Fetched
-    {
-        std::size_t idx;
-        std::uint64_t readyAt;
-    };
-    std::vector<Fetched> fetch_queue; // FIFO via head index
+    using Fetched = CoreScratch::Fetched;
+    auto &fetch_queue = scratch.fetchQueue; // FIFO via head index
+    fetch_queue.clear();
     std::size_t fq_head = 0;
     const std::size_t fq_cap = width * (static_cast<std::size_t>(
                                             fp.frontEndStages) + 2);
 
     // Issue queue: indices of dispatched, un-issued instructions
     // (age-ordered).
-    std::vector<std::size_t> iq;
+    auto &iq = scratch.iq;
+    iq.clear();
     iq.reserve(iq_size);
 
     // Per-cycle rings: writeback-port usage and branch resolutions.
-    std::vector<std::uint8_t> wb_ring(kRingSize, 0);
-    std::vector<std::uint8_t> resolve_ring(kRingSize, 0);
+    auto &wb_ring = scratch.wbRing;
+    wb_ring.assign(kCoreRingSize, 0);
+    auto &resolve_ring = scratch.resolveRing;
+    resolve_ring.assign(kCoreRingSize, 0);
 
     // Non-pipelined FP dividers: busy-until cycles per unit.
-    std::vector<std::uint64_t> div_busy(
-        static_cast<std::size_t>(fus.fpMulDiv), 0);
+    auto &div_busy = scratch.divBusy;
+    div_busy.assign(static_cast<std::size_t>(fus.fpMulDiv), 0);
 
     std::uint64_t cycle = 0;
     std::uint64_t fetch_blocked_until = 0;
@@ -174,7 +120,7 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
     std::uint64_t last_fetch_line =
         std::numeric_limits<std::uint64_t>::max();
 
-    auto slot = [&](std::size_t idx) -> InstState & {
+    auto slot = [&](std::size_t idx) -> CoreScratch::RobSlot & {
         return rob[idx % rob_size];
     };
 
@@ -185,17 +131,17 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
         if (producer < commit_idx || dist > static_cast<std::uint32_t>(
                                                 idx - begin))
             return true; // committed, or before the interval
-        const InstState &p = slot(producer);
+        const CoreScratch::RobSlot &p = slot(producer);
         return p.issued && p.readyCycle <= cycle;
     };
 
     // Find the first cycle at or after `from` with a free write port.
     auto writeback_slot = [&](std::uint64_t from) {
         std::uint64_t c = std::max(from, cycle + 1);
-        for (std::size_t hops = 0; hops < kRingSize - 1; ++hops, ++c) {
-            if (wb_ring[c % kRingSize] <
+        for (std::size_t hops = 0; hops < kCoreRingSize - 1; ++hops, ++c) {
+            if (wb_ring[c % kCoreRingSize] <
                 static_cast<std::uint8_t>(wr_ports)) {
-                ++wb_ring[c % kRingSize];
+                ++wb_ring[c % kCoreRingSize];
                 return c;
             }
         }
@@ -211,14 +157,14 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
     while (commit_idx < end) {
         // Free the write-port ring slot for this cycle so it can be
         // reused a full ring period later; resolve branches due now.
-        inflight_branches -= resolve_ring[cycle % kRingSize];
-        resolve_ring[cycle % kRingSize] = 0;
+        inflight_branches -= resolve_ring[cycle % kCoreRingSize];
+        resolve_ring[cycle % kCoreRingSize] = 0;
 
         // ---- Commit -----------------------------------------------------
         for (std::size_t c = 0; c < width && commit_idx < end; ++c) {
             if (commit_idx >= dispatch_idx)
                 break; // nothing dispatched
-            InstState &e = slot(commit_idx);
+            CoreScratch::RobSlot &e = slot(commit_idx);
             if (!e.issued || e.readyCycle > cycle)
                 break;
             const TraceInstruction &inst = trace[commit_idx];
@@ -295,7 +241,7 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
                 const std::uint64_t done =
                     cycle + static_cast<std::uint64_t>(latency);
 
-                InstState &e = slot(idx);
+                CoreScratch::RobSlot &e = slot(idx);
                 e.issued = true;
                 if (producesResult(inst.cls)) {
                     e.readyCycle = writeback_slot(done);
@@ -312,7 +258,7 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
                     // the branch fetch is stalled on, fetch restarts
                     // after the redirect penalty.
                     const std::uint64_t resolve = done;
-                    ++resolve_ring[resolve % kRingSize];
+                    ++resolve_ring[resolve % kCoreRingSize];
                     if (fetch_wait_branch && wait_branch_idx == idx) {
                         fetch_wait_branch = false;
                         fetch_blocked_until = std::max(
@@ -350,8 +296,8 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
                 break;
             }
 
-            InstState &e = slot(f.idx);
-            e.readyCycle = kNotReady;
+            CoreScratch::RobSlot &e = slot(f.idx);
+            e.readyCycle = kCoreNotReady;
             e.issued = false;
             // (mispredicted was set at fetch.)
             ++rob_count;
@@ -449,7 +395,7 @@ OooCore::run(const Trace &trace, std::size_t begin, std::size_t end)
         // This cycle's write-port slot can never be referenced again
         // (writebacks are always scheduled at cycle+1 or later), so
         // clear it for reuse one ring period from now.
-        wb_ring[cycle % kRingSize] = 0;
+        wb_ring[cycle % kCoreRingSize] = 0;
 
         ++cycle;
         ACDSE_CHECK(cycle < cycle_limit,

@@ -35,6 +35,54 @@
 namespace acdse
 {
 
+/** Ring size for per-cycle event counters; must exceed any latency. */
+constexpr std::size_t kCoreRingSize = 1024;
+
+/** Result-not-ready sentinel for in-flight instructions. */
+constexpr std::uint64_t kCoreNotReady = ~std::uint64_t{0};
+
+/**
+ * Reusable storage for the pipeline structures one timed run needs
+ * (ROB slots, fetch queue, issue queue, per-cycle rings, divider busy
+ * timers). OooCore::run() historically allocated these per call; a
+ * campaign runs hundreds of thousands of short simulations, so callers
+ * that loop (Campaign fill, the lane-batched replay path in
+ * sim/batch.hh) own one scratch per worker and hand it to every run.
+ * Contents are overwritten at the start of each run; only capacity
+ * carries over.
+ */
+struct CoreScratch
+{
+    /** Per-in-flight-instruction bookkeeping (ROB ring slot). */
+    struct RobSlot
+    {
+        std::uint64_t readyCycle;   //!< result availability cycle
+        bool issued;                //!< left the issue queue
+    };
+
+    /** One fetched instruction waiting to dispatch (front-end depth). */
+    struct Fetched
+    {
+        std::size_t idx;            //!< trace index
+        std::uint64_t readyAt;      //!< cycle it becomes dispatchable
+    };
+
+    std::vector<RobSlot> rob;           //!< ROB ring, robSize slots
+    std::vector<Fetched> fetchQueue;    //!< FIFO via head index
+    std::vector<std::size_t> iq;        //!< age-ordered issue queue
+    /**
+     * Parallel to iq: the earliest cycle the entry's operands can be
+     * ready, or 0 when unknown. A nonzero value is exact -- the max of
+     * both producers' immutable readyCycle -- so the batched engine
+     * skips the entry without rescanning until the value expires. The
+     * scalar core leaves this empty.
+     */
+    std::vector<std::uint64_t> iqSleep;
+    std::vector<std::uint8_t> wbRing;   //!< write-port usage per cycle
+    std::vector<std::uint8_t> resolveRing; //!< branch resolutions
+    std::vector<std::uint64_t> divBusy; //!< per-divider busy-until
+};
+
 /** Statistics of one timed run. */
 struct CoreStats
 {
@@ -81,6 +129,15 @@ class OooCore
                   std::size_t end = SIZE_MAX);
 
     /**
+     * As run(), but borrowing @p scratch for the pipeline structures
+     * instead of allocating them -- callers that simulate in a loop
+     * reuse one scratch across runs (results are identical either
+     * way; the scratch is storage, never state).
+     */
+    CoreStats run(const Trace &trace, std::size_t begin, std::size_t end,
+                  CoreScratch &scratch);
+
+    /**
      * Functional warming (SMARTS-style): stream instructions [begin,
      * end) through the caches and branch predictor without modelling
      * timing and without recording energy events. Orders of magnitude
@@ -92,13 +149,6 @@ class OooCore
     const CacheHierarchy &hierarchy() const { return hierarchy_; }
 
   private:
-    /** Per-in-flight-instruction bookkeeping (ROB ring slot). */
-    struct InstState
-    {
-        std::uint64_t readyCycle;   //!< result availability cycle
-        bool issued;                //!< left the issue queue
-    };
-
     const MicroarchConfig config_;
     EnergyModel &energy_;
     CacheHierarchy hierarchy_;

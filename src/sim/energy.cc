@@ -43,6 +43,13 @@ energyEventName(EnergyEvent event)
 
 EnergyModel::EnergyModel(const MicroarchConfig &config)
 {
+    reconfigure(config);
+}
+
+void
+EnergyModel::reconfigure(const MicroarchConfig &config)
+{
+    counts_.fill(0);
     const FixedParams &fp = fixedParams();
     const int width = config.width();
     auto set = [&](EnergyEvent ev, double nj) {

@@ -67,6 +67,13 @@ class EnergyModel
     /** Precompute all per-event costs for one configuration. */
     explicit EnergyModel(const MicroarchConfig &config);
 
+    /**
+     * Re-derive all per-event costs for a new configuration and zero
+     * the event counts -- equivalent to constructing a fresh model
+     * (the lane-batched simulator recycles one model per lane).
+     */
+    void reconfigure(const MicroarchConfig &config);
+
     /** Record @p count occurrences of an event. */
     void
     add(EnergyEvent event, std::uint64_t count = 1)

@@ -56,6 +56,14 @@ SimulationResult
 simulate(const MicroarchConfig &config, const Trace &trace,
          const SimulationOptions &options)
 {
+    CoreScratch scratch;
+    return simulate(config, trace, options, scratch);
+}
+
+SimulationResult
+simulate(const MicroarchConfig &config, const Trace &trace,
+         const SimulationOptions &options, CoreScratch &scratch)
+{
     EnergyModel energy(config);
     OooCore core(config, energy);
 
@@ -64,12 +72,12 @@ simulate(const MicroarchConfig &config, const Trace &trace,
         // Warm microarchitectural state with an untimed run over the
         // prefix; discard its statistics and energy events.
         begin = std::min(options.warmupInstructions, trace.size() / 2);
-        core.run(trace, 0, begin);
+        core.run(trace, 0, begin, scratch);
         energy.resetCounts();
     }
 
     SimulationResult result;
-    result.stats = core.run(trace, begin);
+    result.stats = core.run(trace, begin, SIZE_MAX, scratch);
     result.dynamicNj = energy.dynamicEnergyNj();
     result.staticNj = energy.staticEnergyNj(result.stats.cycles);
     result.metrics = Metrics::fromCyclesEnergy(

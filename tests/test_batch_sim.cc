@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Bit-identity contract of the lane-batched simulator replay
+ * (sim/batch.hh): for every batch size, warmup setting and sampling
+ * methodology, the batched path must reproduce the scalar path's
+ * metrics EXACTLY -- EXPECT_EQ on the doubles, not EXPECT_NEAR. The
+ * lanes never interact, so any divergence is a transcription bug, not
+ * rounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "arch/design_space.hh"
+#include "base/thread_pool.hh"
+#include "sim/batch.hh"
+#include "sim/cacti.hh"
+#include "sim/sampled_sim.hh"
+#include "sim/simulator.hh"
+#include "trace/suites.hh"
+#include "trace/trace_generator.hh"
+
+namespace acdse
+{
+namespace
+{
+
+Trace
+makeTrace(const std::string &name, std::size_t length)
+{
+    return TraceGenerator(profileByName(name)).generate(length);
+}
+
+void
+expectIdentical(const SimulationResult &batched,
+                const SimulationResult &scalar)
+{
+    // All four campaign metrics, exactly.
+    EXPECT_EQ(batched.metrics.cycles, scalar.metrics.cycles);
+    EXPECT_EQ(batched.metrics.energyNj, scalar.metrics.energyNj);
+    EXPECT_EQ(batched.metrics.ed, scalar.metrics.ed);
+    EXPECT_EQ(batched.metrics.edd, scalar.metrics.edd);
+    EXPECT_EQ(batched.dynamicNj, scalar.dynamicNj);
+    EXPECT_EQ(batched.staticNj, scalar.staticNj);
+    // Every timing statistic the core reports.
+    EXPECT_EQ(batched.stats.cycles, scalar.stats.cycles);
+    EXPECT_EQ(batched.stats.instructions, scalar.stats.instructions);
+    EXPECT_EQ(batched.stats.branches, scalar.stats.branches);
+    EXPECT_EQ(batched.stats.mispredicts, scalar.stats.mispredicts);
+    EXPECT_EQ(batched.stats.btbMisses, scalar.stats.btbMisses);
+    EXPECT_EQ(batched.stats.il1Misses, scalar.stats.il1Misses);
+    EXPECT_EQ(batched.stats.dl1Misses, scalar.stats.dl1Misses);
+    EXPECT_EQ(batched.stats.l2Misses, scalar.stats.l2Misses);
+    EXPECT_EQ(batched.stats.dispatchStallRob,
+              scalar.stats.dispatchStallRob);
+    EXPECT_EQ(batched.stats.dispatchStallIq,
+              scalar.stats.dispatchStallIq);
+    EXPECT_EQ(batched.stats.dispatchStallLsq,
+              scalar.stats.dispatchStallLsq);
+    EXPECT_EQ(batched.stats.dispatchStallRegs,
+              scalar.stats.dispatchStallRegs);
+    EXPECT_EQ(batched.stats.fetchStallBranches,
+              scalar.stats.fetchStallBranches);
+}
+
+// Batch sizes around the lane count: a lone config, a partial group,
+// a full group, and a full group plus a straggler.
+class BatchSimSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BatchSimSizes, BitIdenticalToScalar)
+{
+    const std::size_t batch = GetParam();
+    const Trace trace = makeTrace("gcc", 8000);
+    const auto configs =
+        DesignSpace::sampleValidConfigs(batch, 1234 + batch);
+
+    for (const std::size_t warmup : {std::size_t{0}, std::size_t{2000}}) {
+        SimulationOptions options;
+        options.warmupInstructions = warmup;
+        const auto batched = simulateBatch(
+            std::span<const MicroarchConfig>(configs), trace, options);
+        ASSERT_EQ(batched.size(), configs.size());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            SCOPED_TRACE(::testing::Message()
+                         << "config " << i << " warmup " << warmup);
+            expectIdentical(batched[i],
+                            simulate(configs[i], trace, options));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundLaneCount, BatchSimSizes,
+                         ::testing::Values(1, 7, 8, 9));
+
+TEST(BatchSim, ScratchReuseAcrossTracesAndBatches)
+{
+    // One scratch serves different traces and different configs in
+    // sequence; reconfigure/epoch-reset must leave no residue from
+    // earlier batches (this is exactly how campaign workers use it).
+    SimScratch scratch;
+    SimulationOptions options;
+    options.warmupInstructions = 1000;
+
+    for (const char *program : {"gcc", "mcf", "equake"}) {
+        const Trace trace = makeTrace(program, 6000);
+        const DecodedTrace decoded(trace);
+        const auto configs = DesignSpace::sampleValidConfigs(
+            kSimLanes, 17 + static_cast<unsigned>(program[0]));
+        std::vector<SimulationResult> batched(configs.size());
+        simulateBatch(std::span<const MicroarchConfig>(configs),
+                      decoded, options,
+                      std::span<SimulationResult>(batched), scratch);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            SCOPED_TRACE(::testing::Message()
+                         << program << " config " << i);
+            expectIdentical(batched[i],
+                            simulate(configs[i], trace, options));
+        }
+    }
+}
+
+TEST(BatchSim, SimPointBatchBitIdenticalToScalar)
+{
+    const Trace trace = makeTrace("gzip", 24000);
+    const auto configs = DesignSpace::sampleValidConfigs(9, 4242);
+    SimPointOptions options;
+    options.intervalLength = 2000;
+    options.maxClusters = 6;
+
+    const auto batched = simulateWithSimPointsBatch(
+        std::span<const MicroarchConfig>(configs), trace, options);
+    ASSERT_EQ(batched.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "config " << i);
+        const SampledResult scalar =
+            simulateWithSimPoints(configs[i], trace, options);
+        EXPECT_EQ(batched[i].metrics.cycles, scalar.metrics.cycles);
+        EXPECT_EQ(batched[i].metrics.energyNj, scalar.metrics.energyNj);
+        EXPECT_EQ(batched[i].metrics.ed, scalar.metrics.ed);
+        EXPECT_EQ(batched[i].metrics.edd, scalar.metrics.edd);
+        EXPECT_EQ(batched[i].simulatedInstructions,
+                  scalar.simulatedInstructions);
+        EXPECT_EQ(batched[i].detailFraction, scalar.detailFraction);
+    }
+}
+
+TEST(BatchSim, SmartsBatchBitIdenticalToScalar)
+{
+    const Trace trace = makeTrace("ammp", 16000);
+    const auto configs = DesignSpace::sampleValidConfigs(9, 99);
+    SmartsOptions options;
+    options.unitInstructions = 500;
+    options.samplingPeriod = 8;
+    options.offset = 3;
+
+    const auto batched = simulateWithSmartsBatch(
+        std::span<const MicroarchConfig>(configs), trace, options);
+    ASSERT_EQ(batched.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "config " << i);
+        const SampledResult scalar =
+            simulateWithSmarts(configs[i], trace, options);
+        EXPECT_EQ(batched[i].metrics.cycles, scalar.metrics.cycles);
+        EXPECT_EQ(batched[i].metrics.energyNj, scalar.metrics.energyNj);
+        EXPECT_EQ(batched[i].metrics.ed, scalar.metrics.ed);
+        EXPECT_EQ(batched[i].metrics.edd, scalar.metrics.edd);
+        EXPECT_EQ(batched[i].simulatedInstructions,
+                  scalar.simulatedInstructions);
+        EXPECT_EQ(batched[i].detailFraction, scalar.detailFraction);
+    }
+}
+
+TEST(BatchSim, CactiMemoisationServesRepeatedGeometry)
+{
+    const CactiMemoStats before = cactiMemoStats();
+    // Same geometry twice: the second round must be all hits.
+    (void)estimateCache(32768, 2, 32, 1);
+    (void)estimateCache(32768, 2, 32, 1);
+    const CactiMemoStats after = cactiMemoStats();
+    EXPECT_GE(after.hits, before.hits + 1);
+    // And memoisation must not change values.
+    const ArrayEstimate a = estimateCache(16384, 4, 32, 1);
+    const ArrayEstimate b = estimateCache(16384, 4, 32, 1);
+    EXPECT_EQ(a.readEnergyNj, b.readEnergyNj);
+    EXPECT_EQ(a.writeEnergyNj, b.writeEnergyNj);
+    EXPECT_EQ(a.leakageNjPerCycle, b.leakageNjPerCycle);
+    EXPECT_EQ(a.latencyCycles, b.latencyCycles);
+}
+
+// TSan-facing: concurrent batches share one immutable DecodedTrace
+// and the process-wide cacti memo table; each worker owns its scratch.
+// Run under ACDSE_SANITIZE=thread by the CI thread-safety job (suite
+// name is matched by the BatchSim regex in ci.yml).
+TEST(BatchSimConcurrency, ParallelBatchesShareDecodedTrace)
+{
+    const Trace trace = makeTrace("vpr", 6000);
+    const DecodedTrace decoded(trace);
+    const auto configs = DesignSpace::sampleValidConfigs(24, 7);
+    SimulationOptions options;
+    options.warmupInstructions = 1000;
+
+    ThreadPool pool(4);
+    std::vector<SimulationResult> batched(configs.size());
+    pool.parallelFor(0, (configs.size() + kSimLanes - 1) / kSimLanes,
+                     [&](std::size_t g) {
+                         SimScratch scratch;
+                         const std::size_t first = g * kSimLanes;
+                         const std::size_t n = std::min(
+                             kSimLanes, configs.size() - first);
+                         simulateBatch(
+                             std::span<const MicroarchConfig>(
+                                 configs.data() + first, n),
+                             decoded, options,
+                             std::span<SimulationResult>(
+                                 batched.data() + first, n),
+                             scratch);
+                     });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "config " << i);
+        expectIdentical(batched[i],
+                        simulate(configs[i], trace, options));
+    }
+}
+
+} // namespace
+} // namespace acdse

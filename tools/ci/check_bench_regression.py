@@ -5,7 +5,8 @@ than ``tolerance`` above its checked-in ceiling.
 
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
-        [--train BENCH_train.json] [--serve BENCH_serve.json] \
+        [--train BENCH_train.json] [--campaign BENCH_campaign.json] \
+        [--serve BENCH_serve.json] \
         [--serve-latency BENCH_serve_latency.json] \
         [--predict-batch BENCH_predict_batch.json] \
         [--explore BENCH_explore.json]
@@ -78,6 +79,7 @@ BENCH_SCHEMA = "acdse-bench-v1"
 #: CLI flag -> (baseline section, default result path).
 BENCHES = {
     "train": ("train", "BENCH_train.json"),
+    "campaign": ("campaign", "BENCH_campaign.json"),
     "serve": ("serve", "BENCH_serve.json"),
     "serve_latency": ("serve_latency", "BENCH_serve_latency.json"),
     "predict_batch": ("predict_batch", "BENCH_predict_batch.json"),
