@@ -1,0 +1,115 @@
+/**
+ * @file
+ * An append-only, per-record-checksummed journal of state transitions,
+ * the persistence substrate of the job system (src/jobs).
+ *
+ * Every record is one text line
+ *
+ *   J1,<field0>,<field1>,...,<fnv1a64 of everything before it, hex>\n
+ *
+ * appended with a single write(2). The format is designed so that any
+ * damage a crash or bit rot can inflict is either recoverable or loudly
+ * typed -- never a silently wrong replay:
+ *
+ *  - A torn tail (the final line missing its newline, e.g. a writer
+ *    SIGKILL'd mid-append or a truncated copy) is dropped. Journal
+ *    records are memos of progress over idempotent, atomically
+ *    checkpointed work, so losing a *suffix* of records only means
+ *    redoing work, never corrupting state.
+ *
+ *  - Any damage to an *interior*, newline-terminated line -- a flipped
+ *    bit, an edited field, a spliced file -- fails the per-record
+ *    checksum or the format check and throws JournalError. (FNV-1a
+ *    multiplies by an odd prime, so any single-bit change to a line
+ *    always changes its hash.)
+ *
+ * Replay therefore returns a verified *prefix* of what was appended,
+ * or throws. Callers that are about to append after a crash call
+ * repair() first, which truncates a torn tail so the next record does
+ * not splice onto partial bytes.
+ *
+ * Appends are not internally locked: callers (jobs::JobQueue) hold a
+ * FileLock spanning their read-decide-append critical section anyway,
+ * which is the only multi-writer discipline that makes semantic sense.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace acdse
+{
+
+/** Thrown on a malformed or corrupted journal. */
+class JournalError : public std::runtime_error
+{
+  public:
+    explicit JournalError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** The verified contents of a journal file. */
+struct JournalReplay
+{
+    /** Every verified record, in append order. */
+    std::vector<std::vector<std::string>> records;
+    /** Byte length of the verified prefix (end of last full line). */
+    std::size_t validBytes = 0;
+    /** Whether bytes past validBytes were dropped as a torn tail. */
+    bool tornTail = false;
+};
+
+/** One append-only record log at a fixed path. */
+class Journal
+{
+  public:
+    explicit Journal(std::string path) : path_(std::move(path)) {}
+
+    /** The journal file's path. */
+    const std::string &path() const { return path_; }
+
+    /** Whether the journal file exists on disk. */
+    bool exists() const;
+
+    /**
+     * Read and verify the whole journal. A missing file replays empty
+     * (a journal that was never written is a valid empty journal).
+     * @throws JournalError on any damaged terminated record.
+     */
+    JournalReplay replay() const;
+
+    /**
+     * Truncate a torn tail identified by @p state so the next append
+     * starts on a clean line boundary. No-op when the tail is intact.
+     * Callers must hold the journal's FileLock.
+     */
+    void repair(const JournalReplay &state) const;
+
+    /**
+     * Append one record as a single write(2). Fields must be non-empty
+     * and free of ',' and newlines (enforced with a check: records are
+     * produced by code, not users). Callers must hold the journal's
+     * FileLock when other writers may exist. Panics on I/O failure.
+     */
+    void append(const std::vector<std::string> &fields) const;
+
+    /** Format one record as its full journal line (for tests). */
+    static std::string formatRecord(
+        const std::vector<std::string> &fields);
+
+    /**
+     * Verify and decode one buffer of journal bytes (replay() on an
+     * in-memory image; the corruption tests drive this directly).
+     */
+    static JournalReplay decode(std::string_view bytes);
+
+  private:
+    std::string path_;
+};
+
+} // namespace acdse

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "arch/design_space.hh"
+#include "base/binary_io.hh"
 #include "base/check.hh"
 #include "base/csv.hh"
 #include "base/logging.hh"
@@ -117,11 +118,41 @@ Campaign::trace(std::size_t programIdx)
 }
 
 std::string
+Campaign::cacheKeyFor(const std::vector<std::string> &programs,
+                      const CampaignOptions &options)
+{
+    // Hash the program set: names are validated suite identifiers
+    // (no commas), so ','-joining is an unambiguous encoding.
+    std::string joined;
+    for (const auto &name : programs) {
+        joined += name;
+        joined += ',';
+    }
+    char programsHex[17];
+    std::snprintf(programsHex, sizeof(programsHex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(joined)));
+
+    std::ostringstream os;
+    os << "c" << options.numConfigs << "_t" << options.traceLength
+       << "_w" << options.warmupInstructions << "_s" << std::hex
+       << options.configSeed << std::dec << "_p" << programsHex;
+    return os.str();
+}
+
+std::string
+Campaign::cacheKey() const
+{
+    return cacheKeyFor(programs_, options_);
+}
+
+std::string
 Campaign::cachePath() const
 {
     std::ostringstream os;
     // The version tag invalidates caches across simulator-model
-    // changes; bump it whenever simulation results change.
+    // changes; bump it whenever simulation results change. Unlike
+    // cacheKey() this name deliberately omits the program set: the
+    // cache file is shared and merged across program subsets.
     os << options_.cacheDir << "/acdse_campaign_v2_c"
        << options_.numConfigs << "_t" << options_.traceLength << "_w"
        << options_.warmupInstructions << "_s" << std::hex
@@ -129,17 +160,17 @@ Campaign::cachePath() const
     return os.str();
 }
 
-bool
-Campaign::loadCache()
+std::size_t
+Campaign::loadCacheRowsFrom(const std::string &path)
 {
     CsvFile file;
-    if (!readCsv(cachePath(), file))
-        return false;
+    if (!readCsv(path, file))
+        return 0;
     if (file.header !=
         std::vector<std::string>{"program", "config", "cycles",
                                  "energy_nj"}) {
-        warn("ignoring campaign cache with unexpected header");
-        return false;
+        warn("ignoring campaign cache with unexpected header: ", path);
+        return 0;
     }
 
     // Index configurations by key for O(1) row placement.
@@ -168,6 +199,13 @@ Campaign::loadCache()
         computed_[cell] = true;
         ++loaded;
     }
+    return loaded;
+}
+
+bool
+Campaign::loadCache()
+{
+    const std::size_t loaded = loadCacheRowsFrom(cachePath());
     if (!options_.quiet && loaded) {
         inform("campaign cache: loaded ", loaded, " of ",
                results_.size(), " simulations from ", cachePath());
@@ -175,45 +213,58 @@ Campaign::loadCache()
     return loaded == results_.size();
 }
 
-void
-Campaign::saveCache() const
+CsvFile
+Campaign::cacheRows(const std::vector<std::size_t> &cells) const
 {
     CsvFile file;
     file.header = {"program", "config", "cycles", "energy_nj"};
+    char buf[64];
+    for (const std::size_t cell : cells) {
+        ACDSE_CHECK(cell < results_.size(), "bad cell index");
+        if (!computed_[cell])
+            continue;
+        std::vector<std::string> row;
+        row.push_back(programs_[cell / configs_.size()]);
+        row.push_back(configs_[cell % configs_.size()].key());
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      results_[cell].cycles);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      results_[cell].energyNj);
+        row.push_back(buf);
+        file.rows.push_back(std::move(row));
+    }
+    return file;
+}
+
+void
+Campaign::saveCache() const
+{
+    std::vector<std::size_t> all(results_.size());
+    for (std::size_t cell = 0; cell < all.size(); ++cell)
+        all[cell] = cell;
+    CsvFile file = cacheRows(all);
 
     // Merge with any existing cache so that a campaign over a subset
     // of programs never drops other programs' rows from the shared
-    // file.
+    // file. Foreign rows sort first, ours after, matching the
+    // pre-refactor row order byte for byte.
     CsvFile existing;
     if (readCsv(cachePath(), existing) &&
         existing.header == file.header) {
         std::unordered_set<std::string> ours;
         for (const auto &name : programs_)
             ours.insert(name);
+        std::vector<std::vector<std::string>> merged;
         for (auto &row : existing.rows) {
             if (!ours.contains(row[0]))
-                file.rows.push_back(std::move(row));
+                merged.push_back(std::move(row));
         }
+        for (auto &row : file.rows)
+            merged.push_back(std::move(row));
+        file.rows = std::move(merged);
     }
 
-    char buf[64];
-    for (std::size_t p = 0; p < programs_.size(); ++p) {
-        for (std::size_t c = 0; c < configs_.size(); ++c) {
-            const std::size_t cell = p * configs_.size() + c;
-            if (!computed_[cell])
-                continue;
-            std::vector<std::string> row;
-            row.push_back(programs_[p]);
-            row.push_back(configs_[c].key());
-            std::snprintf(buf, sizeof(buf), "%.17g",
-                          results_[cell].cycles);
-            row.push_back(buf);
-            std::snprintf(buf, sizeof(buf), "%.17g",
-                          results_[cell].energyNj);
-            row.push_back(buf);
-            file.rows.push_back(std::move(row));
-        }
-    }
     // Atomic replace: two experiment binaries racing on the same
     // ACDSE_CACHE_DIR may both save, but neither can leave a truncated
     // cache for the other (or a later run) to trip over.
@@ -246,9 +297,38 @@ Campaign::ensureComputed()
                ", configs=", configs_.size(), ")");
     }
 
-    // Pre-generate traces serially (cheap) so workers share them.
-    for (std::size_t p = 0; p < programs_.size(); ++p)
-        trace(p);
+    computeCells(pending);
+
+    saveCache();
+    allComputed_ = true;
+}
+
+void
+Campaign::computeCells(const std::vector<std::size_t> &cells,
+                       const std::function<void(std::size_t)> &progress)
+{
+    // Filter to genuinely pending work (idempotent re-execution: a
+    // resumed job may ask for cells a checkpoint already restored).
+    std::vector<std::size_t> pending;
+    pending.reserve(cells.size());
+    for (const std::size_t cell : cells) {
+        ACDSE_CHECK(cell < results_.size(), "bad cell index");
+        if (!computed_[cell])
+            pending.push_back(cell);
+    }
+    if (pending.empty())
+        return;
+
+    // Pre-generate the needed traces serially (cheap) so workers
+    // share them.
+    for (std::size_t p = 0; p < programs_.size(); ++p) {
+        for (const std::size_t cell : pending) {
+            if (cell / configs_.size() == p) {
+                trace(p);
+                break;
+            }
+        }
+    }
 
     // The shared pool unless the campaign pins an explicit width (as
     // the determinism tests do, comparing 1-thread vs N-thread runs).
@@ -322,10 +402,32 @@ Campaign::ensureComputed()
             inform("campaign: ", completed, "/", pending.size(),
                    " simulations done");
         }
+        if (progress)
+            progress(completed);
     });
+}
 
-    saveCache();
-    allComputed_ = true;
+bool
+Campaign::cellComputed(std::size_t cell) const
+{
+    ACDSE_CHECK(cell < results_.size(), "bad cell index");
+    return computed_[cell] != 0;
+}
+
+const Metrics &
+Campaign::cellResult(std::size_t cell) const
+{
+    ACDSE_CHECK(cell < results_.size(), "bad cell index");
+    ACDSE_CHECK(computed_[cell], "cell accessed before computation");
+    return results_[cell];
+}
+
+void
+Campaign::storeCell(std::size_t cell, const Metrics &metrics)
+{
+    ACDSE_CHECK(cell < results_.size(), "bad cell index");
+    results_[cell] = metrics;
+    computed_[cell] = true;
 }
 
 const Metrics &

@@ -15,11 +15,13 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/microarch_config.hh"
+#include "base/csv.hh"
 #include "sim/metrics.hh"
 #include "trace/trace.hh"
 
@@ -104,10 +106,82 @@ class Campaign
     /** The generated trace for one program (cached). */
     const Trace &trace(std::size_t programIdx);
 
-  private:
+    // -- Cell-level interface (used by the job system, src/jobs) -----
+    //
+    // A cell is one (program, configuration) pair, row-major:
+    // cell = program * configs().size() + config. The job runner
+    // shards the cell range, computes shards in worker processes and
+    // feeds results back through storeCell()/loadCacheRowsFrom(), so
+    // everything here must keep bit-identical semantics with
+    // ensureComputed()'s own fill path.
+
+    /** Total number of (program, configuration) cells. */
+    std::size_t numCells() const { return results_.size(); }
+
+    /** Whether one cell has a computed/loaded result. */
+    bool cellComputed(std::size_t cell) const;
+
+    /** The metrics of one computed cell. */
+    const Metrics &cellResult(std::size_t cell) const;
+
+    /** Store an externally computed result for one cell. */
+    void storeCell(std::size_t cell, const Metrics &metrics);
+
+    /**
+     * Simulate exactly the given cells (already-computed ones are
+     * skipped). Tiling, batching and thread count cannot change any
+     * result, so computing the full pending set in one call or cell
+     * subsets across many calls/processes yields identical metrics.
+     *
+     * @param progress if set, called after each completed tile with
+     *        the cumulative number of cells finished by this call.
+     *        Invoked from worker threads (possibly concurrently);
+     *        keep it cheap and thread-safe.
+     */
+    void computeCells(const std::vector<std::size_t> &cells,
+                      const std::function<void(std::size_t)> &progress =
+                          {});
+
+    /**
+     * The campaign identity string: every sampling/simulation
+     * parameter plus a hash of the program set. Two campaigns agree on
+     * every cell's meaning iff their keys are equal, so job-system
+     * artifacts (journal, shard checkpoints, plans) embed this key in
+     * their file names to keep concurrent runs with different
+     * parameters in one ACDSE_CACHE_DIR from colliding.
+     */
+    std::string cacheKey() const;
+
+    /** The shared campaign cache CSV path for these options. */
     std::string cachePath() const;
-    bool loadCache();
+
+    /**
+     * Load result rows from any campaign-cache-format CSV at @p path
+     * (the shared cache or a shard checkpoint). Rows for unknown
+     * programs/configs and malformed rows are skipped -- cache rows
+     * are disposable memos. @return the number of cells filled in.
+     */
+    std::size_t loadCacheRowsFrom(const std::string &path);
+
+    /**
+     * Cache-format rows (header + %.17g formatting, byte-identical to
+     * what saveCache() writes) for the computed cells among @p cells,
+     * in the given order. Shard checkpoints are written through this
+     * so a cache assembled from shards matches an uninterrupted run
+     * byte for byte.
+     */
+    CsvFile cacheRows(const std::vector<std::size_t> &cells) const;
+
+    /** Merge all computed cells into the shared cache, atomically. */
     void saveCache() const;
+
+    /** See campaignCacheKey() -- the static form of cacheKey(). */
+    static std::string cacheKeyFor(
+        const std::vector<std::string> &programs,
+        const CampaignOptions &options);
+
+  private:
+    bool loadCache();
 
     CampaignOptions options_;
     std::vector<std::string> programs_;

@@ -1,0 +1,608 @@
+#include "jobs/campaign_jobs.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/binary_io.hh"
+#include "base/check.hh"
+#include "base/csv.hh"
+#include "base/json.hh"
+#include "base/parse.hh"
+#include "core/architecture_centric_predictor.hh"
+#include "obs/trace_span.hh"
+
+namespace acdse::jobs
+{
+
+namespace
+{
+
+constexpr std::string_view kPlanFormat = "acdse-jobs-plan-v1";
+
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const auto &item : items) {
+        if (!out.empty())
+            out += ';';
+        out += item;
+    }
+    return out;
+}
+
+std::string
+joinIndices(const std::vector<std::size_t> &items)
+{
+    std::string out;
+    for (const std::size_t item : items) {
+        if (!out.empty())
+            out += ';';
+        out += std::to_string(item);
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t sep = text.find(';', start);
+        const std::size_t end =
+            sep == std::string::npos ? text.size() : sep;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (sep == std::string::npos)
+            break;
+        start = sep + 1;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+splitIndices(const std::string &text, const char *what)
+{
+    std::vector<std::size_t> out;
+    for (const auto &item : splitList(text)) {
+        const auto value = parseU64(item);
+        if (!value)
+            throw JobError(std::string("bad ") + what +
+                           " entry in plan file: '" + item + "'");
+        out.push_back(static_cast<std::size_t>(*value));
+    }
+    return out;
+}
+
+/** Whole-file read; nullopt when the file does not exist. */
+std::optional<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Whether a saved model/predictor artifact loads cleanly. */
+template <typename ModelT>
+bool
+artifactLoads(const std::string &path)
+{
+    const auto bytes = readFileBytes(path);
+    if (!bytes)
+        return false;
+    try {
+        BinaryReader reader(*bytes);
+        ModelT probe;
+        probe.load(reader);
+        return reader.exhausted();
+    } catch (const SerializationError &) {
+        return false;
+    }
+}
+
+/**
+ * The mid-job kill injection point (ACDSE_JOBS_KILL_IN="<id>@<cells>"):
+ * raise SIGKILL once the running job @p jobId has completed that many
+ * cells. Exercises crashes *inside* a shard, between the checkpoint
+ * and the journal record.
+ */
+std::function<void(std::size_t)>
+killInHook(const std::string &jobId)
+{
+    const char *spec = std::getenv("ACDSE_JOBS_KILL_IN");
+    if (!spec || !*spec)
+        return {};
+    const std::string text(spec);
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos || text.substr(0, at) != jobId)
+        return {};
+    const auto cells = parseU64(text.substr(at + 1));
+    if (!cells)
+        return {};
+    const std::size_t threshold = static_cast<std::size_t>(*cells);
+    return [threshold](std::size_t completed) {
+        if (completed >= threshold)
+            ::raise(SIGKILL);
+    };
+}
+
+} // namespace
+
+std::vector<std::string>
+CampaignJobPlan::trainPrograms() const
+{
+    std::vector<std::string> out;
+    for (const auto &name : programs) {
+        if (name != newProgram)
+            out.push_back(name);
+    }
+    return out;
+}
+
+std::string
+CampaignJobPlan::key() const
+{
+    return Campaign::cacheKeyFor(programs, options);
+}
+
+std::string
+CampaignJobPlan::planHash() const
+{
+    // Canonical encoding: everything that defines the job set and its
+    // artifacts. Cosmetic settings (quiet, threads, cacheDir) are
+    // deliberately excluded so a resume under different parallelism
+    // or verbosity still matches the journal.
+    std::string canon(kPlanFormat);
+    canon += '|';
+    canon += key();
+    canon += "|shard=" + std::to_string(shardCells);
+    canon += "|train=" + joinIndices(trainIdx);
+    canon += "|resp=" + joinIndices(responseIdx);
+    canon += "|metrics=" + joinIndices(metrics);
+    canon += "|new=" + newProgram;
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(canon)));
+    return buf;
+}
+
+std::size_t
+CampaignJobPlan::numShards() const
+{
+    return (numCells() + shardCells - 1) / shardCells;
+}
+
+std::vector<std::size_t>
+CampaignJobPlan::shardCellsOf(std::size_t shard) const
+{
+    ACDSE_CHECK(shard < numShards(), "bad shard index");
+    const std::size_t first = shard * shardCells;
+    const std::size_t last =
+        std::min(first + shardCells, numCells());
+    std::vector<std::size_t> cells;
+    cells.reserve(last - first);
+    for (std::size_t cell = first; cell < last; ++cell)
+        cells.push_back(cell);
+    return cells;
+}
+
+std::vector<JobSpec>
+CampaignJobPlan::jobs() const
+{
+    std::vector<JobSpec> out;
+    for (std::size_t s = 0; s < numShards(); ++s) {
+        out.push_back({"sim" + std::to_string(s), "simulate-shard", 0,
+                       std::to_string(s)});
+    }
+    for (const auto &program : trainPrograms()) {
+        for (const std::size_t m : metrics) {
+            out.push_back({"train_" + program + "_m" +
+                               std::to_string(m),
+                           "train-program", 1,
+                           program + ":" + std::to_string(m)});
+        }
+    }
+    for (const std::size_t m : metrics) {
+        out.push_back({"fit_m" + std::to_string(m), "fit-responses", 2,
+                       std::to_string(m)});
+    }
+    return out;
+}
+
+std::string
+CampaignJobPlan::prefix() const
+{
+    return options.cacheDir + "/acdse_jobs_" + key();
+}
+
+std::string
+CampaignJobPlan::planPath() const
+{
+    return prefix() + ".plan.csv";
+}
+
+std::string
+CampaignJobPlan::journalName() const
+{
+    return "acdse_jobs_" + key();
+}
+
+std::string
+CampaignJobPlan::shardPath(std::size_t shard) const
+{
+    return prefix() + ".shard" + std::to_string(shard) + ".csv";
+}
+
+std::string
+CampaignJobPlan::modelPath(const std::string &program,
+                           std::size_t metric) const
+{
+    return prefix() + ".model_" + program + "_m" +
+           std::to_string(metric) + ".bin";
+}
+
+std::string
+CampaignJobPlan::predictorPath(std::size_t metric) const
+{
+    return prefix() + ".predictor_m" + std::to_string(metric) + ".bin";
+}
+
+void
+CampaignJobPlan::save() const
+{
+    validate();
+    CsvFile file;
+    file.header = {"key", "value"};
+    auto put = [&](std::string k, std::string v) {
+        file.rows.push_back({std::move(k), std::move(v)});
+    };
+    put("format", std::string(kPlanFormat));
+    put("campaign", key());
+    put("programs", joinList(programs));
+    put("configs", std::to_string(options.numConfigs));
+    put("trace_len", std::to_string(options.traceLength));
+    put("warmup", std::to_string(options.warmupInstructions));
+    put("seed", std::to_string(options.configSeed));
+    put("threads", std::to_string(options.threads));
+    put("quiet", options.quiet ? "1" : "0");
+    put("shard_cells", std::to_string(shardCells));
+    put("train_idx", joinIndices(trainIdx));
+    put("response_idx", joinIndices(responseIdx));
+    put("metrics", joinIndices(metrics));
+    put("new_program", newProgram.empty() ? "-" : newProgram);
+    writeCsvAtomic(planPath(), file);
+}
+
+CampaignJobPlan
+CampaignJobPlan::load(const std::string &path)
+{
+    CsvFile file;
+    if (!readCsv(path, file))
+        throw JobError("cannot read plan file '" + path + "'");
+    if (file.header != std::vector<std::string>{"key", "value"})
+        throw JobError("plan file '" + path + "' has a bad header");
+    std::unordered_map<std::string, std::string> kv;
+    for (const auto &row : file.rows) {
+        if (row.size() != 2 || !kv.emplace(row[0], row[1]).second)
+            throw JobError("plan file '" + path + "' has bad rows");
+    }
+    auto get = [&](const char *k) -> const std::string & {
+        auto it = kv.find(k);
+        if (it == kv.end())
+            throw JobError("plan file '" + path + "' misses key '" +
+                           k + "'");
+        return it->second;
+    };
+    auto getU64 = [&](const char *k) -> std::uint64_t {
+        const auto value = parseU64(get(k));
+        if (!value)
+            throw JobError("plan file '" + path + "' has a bad '" +
+                           k + "' value");
+        return *value;
+    };
+    if (get("format") != kPlanFormat)
+        throw JobError("plan file '" + path +
+                       "' has an unsupported format tag");
+
+    CampaignJobPlan plan;
+    plan.programs = splitList(get("programs"));
+    plan.options.numConfigs =
+        static_cast<std::size_t>(getU64("configs"));
+    plan.options.traceLength =
+        static_cast<std::size_t>(getU64("trace_len"));
+    plan.options.warmupInstructions =
+        static_cast<std::size_t>(getU64("warmup"));
+    plan.options.configSeed = getU64("seed");
+    plan.options.threads = static_cast<std::size_t>(getU64("threads"));
+    plan.options.quiet = getU64("quiet") != 0;
+    // Rebind the artifact directory to wherever the plan actually
+    // lives, so a run directory can be moved or mounted elsewhere.
+    plan.options.cacheDir =
+        std::filesystem::path(path).parent_path().string();
+    if (plan.options.cacheDir.empty())
+        plan.options.cacheDir = ".";
+    plan.shardCells = static_cast<std::size_t>(getU64("shard_cells"));
+    plan.trainIdx = splitIndices(get("train_idx"), "train_idx");
+    plan.responseIdx =
+        splitIndices(get("response_idx"), "response_idx");
+    plan.metrics = splitIndices(get("metrics"), "metrics");
+    const std::string &newProgram = get("new_program");
+    plan.newProgram = newProgram == "-" ? "" : newProgram;
+    if (get("campaign") != plan.key())
+        throw JobError("plan file '" + path +
+                       "' campaign key does not match its parameters");
+    plan.validate();
+    return plan;
+}
+
+void
+CampaignJobPlan::validate() const
+{
+    auto require = [](bool ok, const std::string &why) {
+        if (!ok)
+            throw JobError("invalid campaign job plan: " + why);
+    };
+    require(!programs.empty(), "no programs");
+    std::unordered_set<std::string> seen;
+    for (const auto &name : programs)
+        require(seen.insert(name).second,
+                "duplicate program '" + name + "'");
+    require(options.numConfigs > 0, "no configurations");
+    require(shardCells > 0, "shard_cells must be positive");
+    for (const std::size_t m : metrics)
+        require(m < kNumMetrics, "bad metric index");
+    std::unordered_set<std::size_t> metricSet(metrics.begin(),
+                                              metrics.end());
+    require(metricSet.size() == metrics.size(), "duplicate metric");
+    for (const std::size_t i : trainIdx)
+        require(i < options.numConfigs, "train index out of range");
+    for (const std::size_t i : responseIdx)
+        require(i < options.numConfigs, "response index out of range");
+    if (trains()) {
+        require(!trainIdx.empty(), "training plan without train_idx");
+        require(!responseIdx.empty(),
+                "training plan without response_idx");
+        require(seen.contains(newProgram),
+                "new_program is not in the program set");
+        require(!trainPrograms().empty(),
+                "no training programs besides new_program");
+    }
+}
+
+CampaignJobRunner::CampaignJobRunner(CampaignJobPlan plan)
+    : plan_(std::move(plan))
+{
+    plan_.validate();
+}
+
+CampaignJobRunner::~CampaignJobRunner() = default;
+
+Campaign &
+CampaignJobRunner::campaign()
+{
+    if (!campaign_)
+        campaign_ = std::make_unique<Campaign>(plan_.programs,
+                                               plan_.options);
+    return *campaign_;
+}
+
+void
+CampaignJobRunner::execute(const JobSpec &spec, int attempt)
+{
+    // Fault injection (tests only): fail the first attempt of one
+    // job to exercise the retry path.
+    if (const char *failOnce = std::getenv("ACDSE_JOBS_FAIL_ONCE");
+        failOnce && spec.id == failOnce && attempt == 1) {
+        throw JobError("injected failure for job '" + spec.id + "'");
+    }
+
+    const obs::TraceSpan span(obs::Registry::global(),
+                              "jobs/execute");
+    if (spec.kind == "simulate-shard") {
+        const auto shard = parseU64(spec.arg);
+        if (!shard || *shard >= plan_.numShards())
+            throw JobError("bad simulate-shard argument '" + spec.arg +
+                           "'");
+        runSimulateShard(static_cast<std::size_t>(*shard), spec.id);
+    } else if (spec.kind == "train-program") {
+        const std::size_t sep = spec.arg.rfind(':');
+        const auto metric = sep == std::string::npos
+                                ? std::nullopt
+                                : parseU64(spec.arg.substr(sep + 1));
+        if (!metric || *metric >= kNumMetrics)
+            throw JobError("bad train-program argument '" + spec.arg +
+                           "'");
+        runTrainProgram(spec.arg.substr(0, sep),
+                        static_cast<std::size_t>(*metric));
+    } else if (spec.kind == "fit-responses") {
+        const auto metric = parseU64(spec.arg);
+        if (!metric || *metric >= kNumMetrics)
+            throw JobError("bad fit-responses argument '" + spec.arg +
+                           "'");
+        runFitResponses(static_cast<std::size_t>(*metric));
+    } else {
+        throw JobError("unknown job kind '" + spec.kind + "'");
+    }
+}
+
+void
+CampaignJobRunner::runSimulateShard(std::size_t shard,
+                                    const std::string &jobId)
+{
+    const std::vector<std::size_t> cells = plan_.shardCellsOf(shard);
+    Campaign &c = campaign();
+
+    // Idempotence: a complete checkpoint means a previous attempt
+    // finished the work (the journal record may have been lost to a
+    // crash between rename and append). Its bytes are already the
+    // deterministic ground truth -- do not rewrite them.
+    c.loadCacheRowsFrom(plan_.shardPath(shard));
+    const bool complete =
+        std::all_of(cells.begin(), cells.end(), [&](std::size_t cell) {
+            return c.cellComputed(cell);
+        });
+    if (complete)
+        return;
+
+    c.computeCells(cells, killInHook(jobId));
+    writeCsvAtomic(plan_.shardPath(shard), c.cacheRows(cells));
+}
+
+void
+CampaignJobRunner::runTrainProgram(const std::string &program,
+                                   std::size_t metric)
+{
+    const std::string path = plan_.modelPath(program, metric);
+    if (artifactLoads<ProgramSpecificPredictor>(path))
+        return; // idempotent re-execution
+
+    loadAllShards();
+    const std::size_t programIdx = campaign().programIndex(program);
+    requireCells(programIdx, plan_.trainIdx, "train-program");
+
+    // The same per-program model construction trainOffline performs,
+    // so the checkpointed ensemble is bit-identical to the in-process
+    // one.
+    ProgramSpecificPredictor model(ArchCentricOptions{}.programModel);
+    model.train(campaign().configsAt(plan_.trainIdx),
+                campaign().metricAt(programIdx,
+                                    static_cast<Metric>(metric),
+                                    plan_.trainIdx));
+    BinaryWriter writer;
+    model.save(writer);
+    writeTextAtomic(path, writer.buffer());
+}
+
+void
+CampaignJobRunner::runFitResponses(std::size_t metric)
+{
+    const std::string path = plan_.predictorPath(metric);
+    if (artifactLoads<ArchitectureCentricPredictor>(path))
+        return; // idempotent re-execution
+
+    loadAllShards();
+    std::vector<std::string> names = plan_.trainPrograms();
+    std::vector<std::shared_ptr<const ProgramSpecificPredictor>> models;
+    for (const auto &name : names) {
+        const auto bytes = readFileBytes(plan_.modelPath(name, metric));
+        if (!bytes) {
+            throw JobError("missing trained model for '" + name +
+                           "' (metric " + std::to_string(metric) + ")");
+        }
+        auto model = std::make_shared<ProgramSpecificPredictor>();
+        try {
+            BinaryReader reader(*bytes);
+            model->load(reader);
+            if (!reader.exhausted())
+                throw SerializationError("trailing bytes");
+        } catch (const SerializationError &e) {
+            throw JobError("corrupt trained model for '" + name +
+                           "': " + e.what());
+        }
+        models.push_back(std::move(model));
+    }
+
+    ArchitectureCentricPredictor predictor;
+    predictor.useModels(std::move(names), std::move(models));
+    const std::size_t newIdx =
+        campaign().programIndex(plan_.newProgram);
+    requireCells(newIdx, plan_.responseIdx, "fit-responses");
+    predictor.fitResponses(
+        campaign().configsAt(plan_.responseIdx),
+        campaign().metricAt(newIdx, static_cast<Metric>(metric),
+                            plan_.responseIdx));
+    BinaryWriter writer;
+    predictor.save(writer);
+    writeTextAtomic(path, writer.buffer());
+}
+
+void
+CampaignJobRunner::loadAllShards()
+{
+    Campaign &c = campaign();
+    for (std::size_t s = 0; s < plan_.numShards(); ++s)
+        c.loadCacheRowsFrom(plan_.shardPath(s));
+}
+
+void
+CampaignJobRunner::requireCells(
+    std::size_t programIdx, const std::vector<std::size_t> &configIdx,
+    const char *what) const
+{
+    ACDSE_CHECK(campaign_, "requireCells before campaign()");
+    for (const std::size_t config : configIdx) {
+        const std::size_t cell =
+            programIdx * plan_.options.numConfigs + config;
+        if (!campaign_->cellComputed(cell)) {
+            throw JobError(std::string(what) +
+                           " needs cell " + std::to_string(cell) +
+                           " but no shard checkpoint provides it");
+        }
+    }
+}
+
+void
+CampaignJobRunner::finalize()
+{
+    loadAllShards();
+    Campaign &c = campaign();
+    for (std::size_t cell = 0; cell < c.numCells(); ++cell) {
+        if (!c.cellComputed(cell)) {
+            throw JobError("campaign incomplete: cell " +
+                           std::to_string(cell) +
+                           " has no shard checkpoint");
+        }
+    }
+    c.saveCache();
+    for (const std::size_t m : plan_.metrics) {
+        if (!artifactLoads<ArchitectureCentricPredictor>(
+                plan_.predictorPath(m))) {
+            throw JobError("missing or corrupt predictor artifact " +
+                           plan_.predictorPath(m));
+        }
+    }
+}
+
+void
+CampaignJobRunner::runInProcess()
+{
+    Campaign &c = campaign();
+    c.ensureComputed();
+    if (!plan_.trains())
+        return;
+
+    const std::vector<std::string> names = plan_.trainPrograms();
+    const std::size_t newIdx = c.programIndex(plan_.newProgram);
+    for (const std::size_t m : plan_.metrics) {
+        const Metric metric = static_cast<Metric>(m);
+        std::vector<ProgramTrainingSet> sets;
+        for (const auto &name : names) {
+            const std::size_t programIdx = c.programIndex(name);
+            sets.push_back({name, c.configsAt(plan_.trainIdx),
+                            c.metricAt(programIdx, metric,
+                                       plan_.trainIdx)});
+        }
+        ArchitectureCentricPredictor predictor;
+        predictor.trainOffline(sets);
+        predictor.fitResponses(
+            c.configsAt(plan_.responseIdx),
+            c.metricAt(newIdx, metric, plan_.responseIdx));
+        BinaryWriter writer;
+        predictor.save(writer);
+        writeTextAtomic(plan_.predictorPath(m), writer.buffer());
+    }
+}
+
+} // namespace acdse::jobs

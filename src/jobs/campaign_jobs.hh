@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The campaign job server: campaign fill and offline training
+ * restructured as typed, idempotent, crash-safe jobs over the
+ * JobQueue (jobs/job_queue.hh).
+ *
+ * A CampaignJobPlan is the complete, persisted description of one
+ * run: the campaign parameters, the cell sharding, and the training/
+ * response split. It expands to three phases of jobs:
+ *
+ *   phase 0  simulate-shard   one job per contiguous cell shard;
+ *                             writes `<prefix>.shard<i>.csv`
+ *   phase 1  train-program    one job per (training program, metric);
+ *                             writes `<prefix>.model_<prog>_m<m>.bin`
+ *   phase 2  fit-responses    one job per metric; writes
+ *                             `<prefix>.predictor_m<m>.bin`
+ *
+ * Every artifact lands via atomic rename and every handler first
+ * checks whether its artifact already exists and is loadable, so jobs
+ * are idempotent: a SIGKILL at *any* point loses at most in-flight
+ * work, and re-executing after resume reproduces the same bytes
+ * (simulation and training are deterministic).
+ *
+ * `<prefix>` embeds the campaign cache key -- every sampling
+ * parameter plus a hash of the program set -- so concurrent runs with
+ * different seeds or program sets in one ACDSE_CACHE_DIR can never
+ * collide on shards, journal, plan or models.
+ *
+ * Bit-identity contract, enforced by the crash suite: the campaign
+ * cache CSV and the per-metric predictor artifacts produced by (a) an
+ * uninterrupted job run, (b) a killed-and-resumed job run, and (c)
+ * CampaignJobRunner::runInProcess() (the pre-existing in-process
+ * Campaign::ensureComputed + trainOffline path) are byte-identical.
+ */
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "jobs/job_queue.hh"
+
+namespace acdse::jobs
+{
+
+/** Thrown on unexecutable jobs (missing inputs, bad plan files). */
+class JobError : public std::runtime_error
+{
+  public:
+    explicit JobError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** The persisted description of one campaign job run. */
+struct CampaignJobPlan
+{
+    std::vector<std::string> programs; //!< all simulated programs
+    CampaignOptions options;           //!< campaign parameters
+    std::size_t shardCells = 64;       //!< cells per simulate shard
+    std::vector<std::size_t> trainIdx; //!< training config indices
+    std::vector<std::size_t> responseIdx; //!< response config indices
+    std::vector<std::size_t> metrics;  //!< metric indices to model
+    std::string newProgram; //!< program whose responses are fitted
+
+    /** Whether the plan trains models (else it is simulate-only). */
+    bool trains() const { return !metrics.empty(); }
+
+    /** The training programs: every program except newProgram. */
+    std::vector<std::string> trainPrograms() const;
+
+    /** The campaign identity key (Campaign::cacheKeyFor). */
+    std::string key() const;
+
+    /** FNV-1a hash of the canonical plan encoding, as hex. */
+    std::string planHash() const;
+
+    /** Total (program, configuration) cells. */
+    std::size_t numCells() const
+    {
+        return programs.size() * options.numConfigs;
+    }
+
+    /** Number of simulate shards. */
+    std::size_t numShards() const;
+
+    /** The cell indices of one shard (contiguous, in order). */
+    std::vector<std::size_t> shardCellsOf(std::size_t shard) const;
+
+    /** The full job set, in claim order. */
+    std::vector<JobSpec> jobs() const;
+
+    /** @name Artifact paths (all under options.cacheDir). */
+    /** @{ */
+    std::string prefix() const;
+    std::string planPath() const;
+    std::string journalName() const; //!< JobQueue name (not a path)
+    std::string shardPath(std::size_t shard) const;
+    std::string modelPath(const std::string &program,
+                          std::size_t metric) const;
+    std::string predictorPath(std::size_t metric) const;
+    /** @} */
+
+    /** Persist to planPath() atomically. */
+    void save() const;
+
+    /**
+     * Load a plan saved by save(). The plan's cacheDir is rebound to
+     * the directory @p path lives in, so a run directory can be
+     * relocated wholesale. @throws JobError on a malformed file.
+     */
+    static CampaignJobPlan load(const std::string &path);
+
+    /** Validate invariants (index ranges, program names, sharding). */
+    void validate() const;
+};
+
+/**
+ * Executes a plan's jobs. One runner per worker process; the held
+ * Campaign accumulates loaded shard results across jobs, which only
+ * ever skips recomputation (handlers stay idempotent).
+ */
+class CampaignJobRunner
+{
+  public:
+    explicit CampaignJobRunner(CampaignJobPlan plan);
+    ~CampaignJobRunner();
+
+    const CampaignJobPlan &plan() const { return plan_; }
+
+    /**
+     * Execute one claimed job. Applies the fault-injection hooks
+     * (ACDSE_JOBS_FAIL_ONCE, ACDSE_JOBS_KILL_IN) before/while running
+     * the handler. @throws JobError (and anything the handlers throw)
+     * on failure; the caller records fail() and retries.
+     */
+    void execute(const JobSpec &spec, int attempt);
+
+    /**
+     * After the queue drains: assemble every shard into the shared
+     * campaign cache (Campaign::saveCache) and verify the trained
+     * artifacts all load. @throws JobError if anything is missing.
+     */
+    void finalize();
+
+    /**
+     * The equivalent computation without the job system: plain
+     * Campaign::ensureComputed + ArchitectureCentricPredictor
+     * trainOffline/fitResponses, writing the same predictor artifact
+     * paths. Produces byte-identical artifacts to a drained job run.
+     */
+    void runInProcess();
+
+    /** The runner's lazily-constructed campaign. */
+    Campaign &campaign();
+
+  private:
+    void runSimulateShard(std::size_t shard, const std::string &jobId);
+    void runTrainProgram(const std::string &program, std::size_t metric);
+    void runFitResponses(std::size_t metric);
+
+    /** Load every shard checkpoint into the campaign. */
+    void loadAllShards();
+
+    /** Require cells (program x configIdx) to be computed. */
+    void requireCells(std::size_t programIdx,
+                      const std::vector<std::size_t> &configIdx,
+                      const char *what) const;
+
+    CampaignJobPlan plan_;
+    std::unique_ptr<Campaign> campaign_;
+};
+
+} // namespace acdse::jobs

@@ -1,0 +1,256 @@
+#include "jobs/job_queue.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "base/check.hh"
+#include "base/parse.hh"
+#include "obs/metrics.hh"
+
+namespace acdse::jobs
+{
+
+namespace
+{
+
+/** Parse a journal-recorded integer or report the journal as bad. */
+std::uint64_t
+parseJournalU64(const std::string &text, const char *what)
+{
+    const auto value = parseU64(text);
+    if (!value)
+        throw JournalError(std::string("bad ") + what +
+                           " field in job journal: '" + text + "'");
+    return *value;
+}
+
+} // namespace
+
+std::size_t
+QueueSnapshot::countIn(JobState state) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(jobs.begin(), jobs.end(), [&](const JobStatus &j) {
+            return j.state == state;
+        }));
+}
+
+bool
+QueueSnapshot::drained() const
+{
+    return countIn(JobState::Done) == jobs.size();
+}
+
+bool
+QueueSnapshot::stuck() const
+{
+    return countIn(JobState::Failed) > 0;
+}
+
+JobQueue::JobQueue(const std::string &dir, const std::string &name)
+    : journal_(dir + "/" + name + ".journal"),
+      lock_(dir + "/" + name + ".lock")
+{
+}
+
+QueueSnapshot
+JobQueue::replayState() const
+{
+    const JournalReplay replay = journal_.replay();
+    QueueSnapshot state;
+    std::unordered_map<std::string, std::size_t> index;
+    for (const auto &record : replay.records) {
+        const std::string &type = record.front();
+        auto bad = [&](const char *why) -> JournalError {
+            return JournalError("job journal '" + journal_.path() +
+                                "': " + why + " ('" + type + "' record)");
+        };
+        auto jobAt = [&](const std::string &id) -> JobStatus & {
+            auto it = index.find(id);
+            if (it == index.end())
+                throw bad("record references an unregistered job");
+            return state.jobs[it->second];
+        };
+        if (type == "plan") {
+            if (record.size() != 2)
+                throw bad("wrong field count");
+            if (!state.planHash.empty())
+                throw bad("duplicate plan record");
+            state.planHash = record[1];
+        } else if (type == "job") {
+            if (record.size() != 5)
+                throw bad("wrong field count");
+            if (index.contains(record[1]))
+                throw bad("duplicate job id");
+            JobStatus status;
+            status.spec.id = record[1];
+            status.spec.kind = record[2];
+            status.spec.phase = parseJournalU64(record[3], "phase");
+            status.spec.arg = record[4];
+            index.emplace(status.spec.id, state.jobs.size());
+            state.jobs.push_back(std::move(status));
+        } else if (type == "gen") {
+            if (record.size() != 2)
+                throw bad("wrong field count");
+            const std::uint64_t g =
+                parseJournalU64(record[1], "generation");
+            if (g <= state.generation)
+                throw bad("generation went backwards");
+            state.generation = g;
+        } else if (type == "start") {
+            if (record.size() != 4)
+                throw bad("wrong field count");
+            JobStatus &job = jobAt(record[1]);
+            const std::uint64_t g =
+                parseJournalU64(record[2], "generation");
+            const std::uint64_t attempt =
+                parseJournalU64(record[3], "attempt");
+            if (g == 0 || g > state.generation)
+                throw bad("start under an unknown generation");
+            if (job.state == JobState::Done)
+                throw bad("start of a completed job");
+            if (attempt != static_cast<std::uint64_t>(job.attempts) + 1)
+                throw bad("attempt count out of sequence");
+            job.state = JobState::Running;
+            job.generation = g;
+            job.attempts += 1;
+        } else if (type == "done" || type == "fail") {
+            if (record.size() != 2)
+                throw bad("wrong field count");
+            JobStatus &job = jobAt(record[1]);
+            if (job.state != JobState::Running)
+                throw bad("outcome for a job that is not running");
+            if (type == "done") {
+                job.state = JobState::Done;
+            } else {
+                job.state = job.attempts >= kMaxAttempts
+                                ? JobState::Failed
+                                : JobState::Pending;
+            }
+        } else {
+            throw bad("unknown record type");
+        }
+    }
+    if (!replay.records.empty() && state.planHash.empty())
+        throw JournalError("job journal '" + journal_.path() +
+                           "' does not begin with a plan record");
+    return state;
+}
+
+std::uint64_t
+JobQueue::open(const std::string &planHash,
+               const std::vector<JobSpec> &jobs)
+{
+    ACDSE_CHECK(!jobs.empty(), "a job queue needs jobs");
+    const FileLockGuard guard(lock_);
+    const JournalReplay replay = journal_.replay();
+    journal_.repair(replay); // next append must start a clean line
+    QueueSnapshot state = replayState();
+    if (state.planHash.empty()) {
+        // First open: register the plan and every job.
+        journal_.append({"plan", planHash});
+        for (const auto &spec : jobs) {
+            journal_.append({"job", spec.id, spec.kind,
+                             std::to_string(spec.phase), spec.arg});
+        }
+    } else {
+        if (state.planHash != planHash) {
+            throw JournalError(
+                "job journal '" + journal_.path() +
+                "' belongs to a different plan (journal " +
+                state.planHash + ", requested " + planHash + ")");
+        }
+        if (state.jobs.size() != jobs.size())
+            throw JournalError("job journal '" + journal_.path() +
+                               "' registers a different job set");
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (state.jobs[i].spec != jobs[i])
+                throw JournalError(
+                    "job journal '" + journal_.path() +
+                    "' registers a different job set");
+        }
+        obs::Registry::global().counter("jobs/resume").add(1);
+    }
+    generation_ = state.generation + 1;
+    journal_.append({"gen", std::to_string(generation_)});
+    return generation_;
+}
+
+void
+JobQueue::attach(const std::string &planHash)
+{
+    const FileLockGuard guard(lock_);
+    const QueueSnapshot state = replayState();
+    if (state.planHash != planHash) {
+        throw JournalError("job journal '" + journal_.path() +
+                           "' belongs to a different plan");
+    }
+    ACDSE_CHECK(state.generation > 0,
+                "attach before the queue was opened");
+    generation_ = state.generation;
+}
+
+ClaimResult
+JobQueue::claim(JobSpec &out, int &attempt)
+{
+    ACDSE_CHECK(generation_ > 0, "claim before open()/attach()");
+    const FileLockGuard guard(lock_);
+    const QueueSnapshot state = replayState();
+    if (state.drained())
+        return ClaimResult::Drained;
+    if (state.stuck())
+        return ClaimResult::Stuck;
+
+    // The phase barrier: only the lowest phase with unfinished jobs
+    // may run.
+    std::size_t activePhase = std::numeric_limits<std::size_t>::max();
+    for (const auto &job : state.jobs) {
+        if (job.state != JobState::Done)
+            activePhase = std::min(activePhase, job.spec.phase);
+    }
+    for (const auto &job : state.jobs) {
+        if (job.spec.phase != activePhase)
+            continue;
+        const bool pending = job.state == JobState::Pending;
+        const bool abandoned = job.state == JobState::Running &&
+                               job.generation < state.generation;
+        if (!pending && !abandoned)
+            continue;
+        out = job.spec;
+        attempt = job.attempts + 1;
+        journal_.append({"start", out.id,
+                         std::to_string(generation_),
+                         std::to_string(attempt)});
+        obs::Registry::global().counter("jobs/dispatch").add(1);
+        if (attempt > 1)
+            obs::Registry::global().counter("jobs/retries").add(1);
+        return ClaimResult::Claimed;
+    }
+    // Everything left in the active phase is running under the
+    // current generation: wait for those workers.
+    return ClaimResult::Wait;
+}
+
+void
+JobQueue::complete(const std::string &id)
+{
+    const FileLockGuard guard(lock_);
+    journal_.append({"done", id});
+}
+
+void
+JobQueue::fail(const std::string &id)
+{
+    const FileLockGuard guard(lock_);
+    journal_.append({"fail", id});
+}
+
+QueueSnapshot
+JobQueue::snapshot() const
+{
+    const FileLockGuard guard(lock_);
+    return replayState();
+}
+
+} // namespace acdse::jobs

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A crash-safe multi-process job queue over an append-only journal
+ * (base/journal.hh) and an advisory file lock (base/file_lock.hh).
+ *
+ * The queue is the coordination layer of the campaign job server: a
+ * fixed set of typed jobs (registered once, up front) is drained by
+ * any number of worker processes sharing one directory. Every state
+ * transition is one journal record appended under the file lock, so
+ * the full state is always reconstructible by replaying the journal:
+ *
+ *   plan,<hash>                     -- journal belongs to this plan
+ *   job,<id>,<kind>,<phase>,<arg>   -- job registration, in order
+ *   gen,<g>                         -- a run/resume session started
+ *   start,<id>,<g>,<attempt>        -- claimed by a worker of gen g
+ *   done,<id>                       -- completed (artifact on disk)
+ *   fail,<id>                       -- attempt threw; retry or give up
+ *
+ * Derived states: a job with no start is Pending; start with nothing
+ * after is Running at generation g; done wins; fail returns the job
+ * to Pending until kMaxAttempts starts have been burned, after which
+ * it is Failed and the queue is stuck.
+ *
+ * Exactly-once within a generation: claims are serialised by the file
+ * lock and a Running job of the *current* generation is never handed
+ * out again. A worker that dies holding a job leaves it Running
+ * forever; the supervising parent notices the death, stops the
+ * session, and the next open() bumps the generation -- Running jobs
+ * of older generations are abandoned work and become claimable again.
+ * Job handlers are idempotent (they checkpoint through atomic
+ * renames), so re-execution after a crash is always safe.
+ *
+ * Phase barrier: a job is claimable only when every job of a lower
+ * phase is Done. The campaign plan uses this to order simulate ->
+ * train -> fit without any further dependency bookkeeping.
+ *
+ * Durability note: appends are not fsync'd. The journal survives any
+ * process death (SIGKILL included -- the page cache persists), which
+ * is the failure model the fault-injection suite drives; a machine
+ * power loss may lose a suffix of records, which replays as merely
+ * un-started work thanks to the idempotent handlers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/file_lock.hh"
+#include "base/journal.hh"
+
+namespace acdse::jobs
+{
+
+/** One registered job. */
+struct JobSpec
+{
+    std::string id;   //!< unique, journal-safe (no commas/newlines)
+    std::string kind; //!< handler selector, e.g. "simulate-shard"
+    std::size_t phase = 0; //!< phase barrier level (0 runs first)
+    std::string arg;  //!< handler argument, journal-safe
+
+    bool operator==(const JobSpec &) const = default;
+};
+
+/** Derived life-cycle state of one job. */
+enum class JobState
+{
+    Pending, //!< never started, or failed with retries left
+    Running, //!< started by some generation, no outcome yet
+    Done,    //!< completed
+    Failed,  //!< failed kMaxAttempts times; the queue is stuck
+};
+
+/** One job's derived status. */
+struct JobStatus
+{
+    JobSpec spec;
+    JobState state = JobState::Pending;
+    int attempts = 0;             //!< start records seen
+    std::uint64_t generation = 0; //!< generation of the last start
+};
+
+/** Outcome of a claim attempt. */
+enum class ClaimResult
+{
+    Claimed, //!< a job was handed out
+    Wait,    //!< nothing claimable now, but work is still in flight
+    Drained, //!< every job is Done
+    Stuck,   //!< some job is permanently Failed; draining is impossible
+};
+
+/** A consistent view of the whole queue. */
+struct QueueSnapshot
+{
+    std::string planHash;
+    std::uint64_t generation = 0; //!< newest generation in the journal
+    std::vector<JobStatus> jobs;  //!< in registration order
+
+    std::size_t countIn(JobState state) const;
+    bool drained() const;
+    bool stuck() const;
+};
+
+/**
+ * The journal-backed queue. Instances are cheap handles: every
+ * operation takes the file lock, replays the journal, decides, and
+ * appends -- so any number of instances across threads *and*
+ * processes (each with its own lock fd) stay consistent.
+ */
+class JobQueue
+{
+  public:
+    /** Starts a job can burn before it is permanently Failed. */
+    static constexpr int kMaxAttempts = 3;
+
+    /**
+     * A queue whose journal lives at `<dir>/<name>.journal` with the
+     * lock file alongside. Nothing is read or written yet.
+     */
+    JobQueue(const std::string &dir, const std::string &name);
+
+    const std::string &journalPath() const { return journal_.path(); }
+
+    /**
+     * Create-or-resume for the supervising process: under the lock,
+     * repair any torn tail, verify an existing journal carries
+     * @p planHash (registering @p jobs on first open), and append a
+     * fresh generation record. @return the new generation.
+     * @throws JournalError on corruption or a plan-hash mismatch.
+     */
+    std::uint64_t open(const std::string &planHash,
+                       const std::vector<JobSpec> &jobs);
+
+    /**
+     * Attach a worker to an already-open()'d journal: verify the plan
+     * hash and adopt the current generation without bumping it.
+     * Workers must construct their own JobQueue (own lock fd) --
+     * a fork-inherited instance would share the parent's open file
+     * description and flock would no longer exclude.
+     */
+    void attach(const std::string &planHash);
+
+    /**
+     * Claim the next runnable job: the first job, in registration
+     * order, of the lowest not-yet-Done phase that is Pending or
+     * abandoned (Running at an older generation). On Claimed, @p out
+     * and @p attempt (1-based) are set and a start record is logged.
+     */
+    ClaimResult claim(JobSpec &out, int &attempt);
+
+    /** Log completion of a job this session claimed. */
+    void complete(const std::string &id);
+
+    /** Log a failed attempt; the job retries until kMaxAttempts. */
+    void fail(const std::string &id);
+
+    /**
+     * A read-only consistent view (takes the lock, appends nothing,
+     * leaves a torn tail un-repaired). Safe for `status` against a
+     * live session. @throws JournalError on corruption.
+     */
+    QueueSnapshot snapshot() const;
+
+  private:
+    /** Replay + interpret; @throws JournalError on bad records. */
+    QueueSnapshot replayState() const;
+
+    Journal journal_;
+    mutable FileLock lock_;
+    std::uint64_t generation_ = 0; //!< this session's generation
+};
+
+} // namespace acdse::jobs

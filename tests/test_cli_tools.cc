@@ -363,5 +363,155 @@ TEST(CliServe, RejectsCorruptArtifact)
     EXPECT_NE(result.output.find("fatal"), std::string::npos);
 }
 
+/**
+ * The pinned tiny acdse-jobs invocation (9 jobs: 3 shards, 4 training
+ * jobs, 2 fits). Deeper fault-injection coverage -- kill matrices,
+ * journal corruption sweeps, bit-identity against a reference run --
+ * lives in test_jobs_crash.cc; this suite covers the CLI surface:
+ * exit codes, artifacts and the status schema.
+ */
+std::string
+jobsCmd(const std::string &subcommand)
+{
+    return std::string("ACDSE_THREADS=1 ACDSE_CONFIGS=24 "
+                       "ACDSE_TRACE_LEN=1200 ACDSE_WARMUP=200 ") +
+           ACDSE_TOOL_JOBS + " " + subcommand;
+}
+
+constexpr const char *kJobsRunArgs =
+    "run --dir . --workers 2 --programs gzip,mcf --target vpr"
+    " --train 12 --responses 8 --shard-cells 30";
+
+TEST(CliJobServer, RunProducesArtifactsAndStats)
+{
+    const fs::path dir = freshDir("acdse_cli_jobs_run");
+    const RunResult result =
+        run(dir, jobsCmd(std::string(kJobsRunArgs) +
+                         " --stats-out stats.json"));
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+
+    std::size_t plans = 0, journals = 0, shards = 0, predictors = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        plans += name.ends_with(".plan.csv");
+        journals += name.ends_with(".journal");
+        shards += name.find(".shard") != std::string::npos;
+        predictors += name.find(".predictor_m") != std::string::npos;
+    }
+    EXPECT_EQ(plans, 1u);
+    EXPECT_EQ(journals, 1u);
+    EXPECT_EQ(shards, 3u);
+    EXPECT_EQ(predictors, 2u);
+
+    // The parent and each worker wrote acdse-stats-v1 files; the
+    // workers' ones carry the jobs/dispatch counter.
+    ASSERT_TRUE(fs::exists(dir / "stats.json"));
+    const testjson::Value parent = parseFile(dir / "stats.json");
+    EXPECT_EQ(parent.at("schema").asString(), "acdse-stats-v1");
+    double dispatched = 0;
+    for (std::size_t w = 0; w < 2; ++w) {
+        const fs::path workerStats =
+            dir / ("stats.json.worker" + std::to_string(w));
+        ASSERT_TRUE(fs::exists(workerStats));
+        const testjson::Value doc = parseFile(workerStats);
+        EXPECT_EQ(doc.at("schema").asString(), "acdse-stats-v1");
+        // A worker that lost every claim race registers no
+        // jobs/dispatch counter at all; only the sum is deterministic.
+        if (obs::kEnabled && doc.at("counters").has("jobs/dispatch"))
+            dispatched += doc.at("counters").at("jobs/dispatch").asNumber();
+    }
+    if (obs::kEnabled) {
+        EXPECT_EQ(dispatched, 9.0);
+    }
+}
+
+TEST(CliJobServer, StatusSchemaAndResumeAfterKill)
+{
+    const fs::path dir = freshDir("acdse_cli_jobs_resume");
+    RunResult result = run(
+        dir, "ACDSE_JOBS_KILL_AFTER=0:2 " +
+                 jobsCmd(std::string(kJobsRunArgs) + " --workers 1"));
+    ASSERT_EQ(result.exitCode, 3) << result.output;
+    EXPECT_NE(result.output.find("resume"), std::string::npos)
+        << "interrupted runs should print the resume hint";
+
+    result = run(dir, jobsCmd("status --dir ."));
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+    const testjson::Value doc = testjson::parse(result.output);
+    EXPECT_EQ(doc.at("schema").asString(), "acdse-jobs-status-v1");
+    EXPECT_EQ(doc.at("jobs").at("total").asNumber(), 9.0);
+    EXPECT_EQ(doc.at("jobs").at("done").asNumber(), 2.0);
+    EXPECT_FALSE(doc.at("drained").boolean);
+    EXPECT_FALSE(doc.at("stuck").boolean);
+    for (const char *kind :
+         {"simulate-shard", "train-program", "fit-responses"}) {
+        EXPECT_TRUE(doc.at("kinds").has(kind)) << kind;
+    }
+    EXPECT_EQ(doc.at("states").array.size(), 9u);
+
+    result = run(dir, jobsCmd("resume --dir . --workers 2"));
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+    result = run(dir, jobsCmd("status --dir ."));
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_TRUE(testjson::parse(result.output).at("drained").boolean);
+}
+
+TEST(CliJobServer, RejectsBadFlags)
+{
+    const fs::path dir = freshDir("acdse_cli_jobs_badflag");
+    const std::string tool = ACDSE_TOOL_JOBS;
+    EXPECT_EQ(run(dir, tool).exitCode, 2);
+    EXPECT_EQ(run(dir, tool + " frobnicate").exitCode, 2);
+    EXPECT_EQ(run(dir, tool + " run --bogus").exitCode, 2);
+    EXPECT_EQ(run(dir, tool + " run --workers").exitCode, 2);
+    // fatal() paths exit 1: unparsable count, zero workers, unknown
+    // benchmark program.
+    EXPECT_EQ(run(dir, tool + " run --workers nope").exitCode, 1);
+    EXPECT_EQ(run(dir, tool + " run --workers 0").exitCode, 1);
+    EXPECT_EQ(
+        run(dir, jobsCmd("run --dir . --programs not-a-benchmark"))
+            .exitCode,
+        1);
+    // resume/status with no plan in the directory: typed error.
+    const RunResult result = run(dir, jobsCmd("status --dir ."));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("no job plan"), std::string::npos);
+}
+
+TEST(CliJobServer, RejectsCorruptJournal)
+{
+    const fs::path dir = freshDir("acdse_cli_jobs_corrupt");
+    RunResult result = run(
+        dir, "ACDSE_JOBS_KILL_AFTER=0:1 " +
+                 jobsCmd(std::string(kJobsRunArgs) + " --workers 1"));
+    ASSERT_EQ(result.exitCode, 3) << result.output;
+
+    fs::path journal;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().filename().string().ends_with(".journal"))
+            journal = entry.path();
+    }
+    ASSERT_FALSE(journal.empty());
+    std::string bytes;
+    {
+        std::ifstream in(journal, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        bytes = text.str();
+    }
+    bytes[bytes.size() / 2] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bytes.size() / 2]) ^ 0x01u);
+    {
+        std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+
+    result = run(dir, jobsCmd("status --dir ."));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("error"), std::string::npos);
+    result = run(dir, jobsCmd("resume --dir ."));
+    EXPECT_EQ(result.exitCode, 1);
+}
+
 } // namespace
 } // namespace acdse

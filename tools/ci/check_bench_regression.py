@@ -84,6 +84,7 @@ BENCHES = {
     "serve_latency": ("serve_latency", "BENCH_serve_latency.json"),
     "predict_batch": ("predict_batch", "BENCH_predict_batch.json"),
     "explore": ("explore", "BENCH_explore.json"),
+    "jobs": ("jobs", "BENCH_jobs.json"),
 }
 
 
